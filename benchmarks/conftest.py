@@ -1,0 +1,38 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one exhibit or qualitative claim from the
+paper (see DESIGN.md's per-experiment index). Conventions:
+
+* each test drives its experiment through ``benchmark.pedantic(run, ...)``
+  so ``pytest benchmarks/ --benchmark-only`` collects it;
+* the experiment prints the paper-style rows via :func:`print_table`;
+* shape assertions (who wins, where the crossover falls) keep the bench
+  honest — they fail if the reproduced trend disappears.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tests"))
+
+
+def print_table(title: str, headers: list, rows: list) -> None:
+    """Render a fixed-width table to stdout (captured with `pytest -s`)."""
+    widths = [
+        max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(str(h).rjust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))
+
+
+def fmt(value, digits=2):
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        return f"{value:.{digits}f}"
+    return str(value)

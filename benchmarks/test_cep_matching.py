@@ -1,0 +1,116 @@
+"""E9 — the CEP era: NFA matching cost vs pattern complexity.
+
+Pattern length, kleene closure, and after-match skip strategies drive the
+run-state explosion that commercial CEP engines managed. Measured: events
+processed per second (wall clock), peak partial-match state, and match
+counts over the card-transaction workload.
+
+Expected shape: throughput falls as pattern length grows; kleene patterns
+explode partial-match state, and SKIP_PAST_LAST bounds it by an order of
+magnitude at equal semantics for disjoint matches.
+"""
+
+import time
+
+from conftest import fmt, print_table
+
+from repro.cep import NFA, Pattern, SkipStrategy
+from repro.io import TransactionWorkload
+
+EVENTS = 2000
+
+
+def transactions():
+    workload = TransactionWorkload(count=EVENTS, rate=1000.0, key_count=20, fraud_fraction=0.1, seed=59)
+    out = []
+    t = 0.0
+    for event in workload.events():
+        t += event.inter_arrival
+        out.append((t, event.value))
+    return out
+
+
+def make_pattern(length):
+    pattern = Pattern.begin("s0", lambda v: v["amount"] < 50)
+    for index in range(1, length - 1):
+        pattern = pattern.followed_by(f"s{index}", lambda v: v["amount"] < 200)
+    pattern = pattern.followed_by("last", lambda v: v["amount"] > 500).within(30.0)
+    return pattern
+
+
+def kleene_pattern(skip):
+    # A frequently-matching kleene pattern: skip strategies show their value
+    # when matches are common enough to prune accumulated loop state.
+    return (
+        Pattern.begin("small", lambda v: v["amount"] < 100)
+        .one_or_more()
+        .followed_by("big", lambda v: v["amount"] > 100)
+        .within(5.0)
+        .with_skip(skip)
+    )
+
+
+def drive(pattern, events):
+    nfas = {}
+    matches = 0
+    peak = 0
+    start = time.perf_counter()
+    for t, value in events:
+        nfa = nfas.get(value["card"])
+        if nfa is None:
+            nfa = NFA(pattern, max_runs=50_000)
+            nfas[value["card"]] = nfa
+        matches += len(nfa.advance(value, t, key=value["card"]))
+        peak = max(peak, sum(n.active_runs for n in nfas.values()))
+    elapsed = time.perf_counter() - start
+    return {
+        "matches": matches,
+        "peak_runs": peak,
+        "throughput": len(events) / elapsed,
+    }
+
+
+def run_all():
+    events = transactions()
+    rows = []
+    for length in (2, 3, 5):
+        report = drive(make_pattern(length), events)
+        rows.append({"pattern": f"sequence len={length}", **report})
+    for skip in (SkipStrategy.NO_SKIP, SkipStrategy.SKIP_PAST_LAST):
+        report = drive(kleene_pattern(skip), events)
+        rows.append({"pattern": f"kleene+ [{skip.value}]", **report})
+    return rows
+
+
+def test_cep_matching(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "E9 — NFA pattern matching over card transactions",
+        ["pattern", "matches", "peak partial runs", "events/s (wall)"],
+        [
+            [r["pattern"], r["matches"], r["peak_runs"], fmt(r["throughput"], 0)]
+            for r in rows
+        ],
+    )
+    by_name = {r["pattern"]: r for r in rows}
+    # Longer sequences track more concurrent partial matches.
+    assert by_name["sequence len=5"]["peak_runs"] > by_name["sequence len=2"]["peak_runs"]
+    # Kleene without skip explodes state; skip-past-last bounds it.
+    no_skip = by_name["kleene+ [no_skip]"]
+    skip = by_name["kleene+ [skip_past_last]"]
+    assert no_skip["peak_runs"] > skip["peak_runs"] * 5
+    assert no_skip["throughput"] < skip["throughput"] / 5
+    assert no_skip["matches"] >= skip["matches"]
+    assert skip["matches"] > 0
+
+
+def test_wallclock_short_pattern(benchmark):
+    events = transactions()
+    pattern = make_pattern(2)
+    benchmark.pedantic(lambda: drive(pattern, events), rounds=3, iterations=1)
+
+
+def test_wallclock_kleene_skip_past_last(benchmark):
+    events = transactions()
+    pattern = kleene_pattern(SkipStrategy.SKIP_PAST_LAST)
+    benchmark.pedantic(lambda: drive(pattern, events), rounds=2, iterations=1)

@@ -1,0 +1,99 @@
+"""F1 — Figure 1: the three generations, regenerated as an executable table.
+
+One shared analytics workload (windowed per-key counts over a disordered,
+bursty clickstream) runs under each generation profile; capability probes
+and run metrics reproduce the figure's structure: what each era focused
+on, and what it could and could not do.
+
+Expected shape (the figure's narrative):
+* gen1 survives overload only by shedding → incomplete results;
+* gen2 completes the workload via backpressure + scale-out;
+* gen3 additionally survives a mid-run failure with exactly-once output.
+"""
+
+from conftest import fmt, print_table
+
+from repro.generations import CAPABILITIES, GENERATIONS, build_analytics_pipeline, capability_row
+from repro.io import ClickstreamWorkload, RateFunction
+
+EVENTS = 12000
+
+
+def overloaded_clicks(seed=11):
+    return ClickstreamWorkload(
+        count=EVENTS,
+        rate=RateFunction.step(base=2000.0, peak=9000.0, start=1.0, end=2.0),
+        disorder=0.05,
+        key_count=16,
+        seed=seed,
+    )
+
+
+def run_generation(profile):
+    artifacts = build_analytics_pipeline(profile, overloaded_clicks())
+    if profile.key == "gen1":
+        # gen1's scale-up box is slower per element: overload bites.
+        for node in artifacts.env.graph.nodes.values():
+            if node.name == "slack":
+                node.processing_cost = 2e-4
+    engine = artifacts.env.build()
+    if profile.key == "gen3":
+        def fail():
+            engine.kill_task("window-count[1]")
+            engine.recover_from_checkpoint()
+
+        engine.kernel.call_at(1.2, fail)
+    result = artifacts.env.execute(until=240.0)
+    counted = sum(v.value for v in artifacts.sink.values())
+    failures = sum(m.failures for m in result.metrics.tasks.values())
+    shed = artifacts.extras.get("shedder")
+    return {
+        "profile": profile,
+        "counted": counted,
+        "complete": counted == EVENTS,
+        "shed": shed.dropped if shed else 0,
+        "failures": failures,
+        "parallel_tasks": len(engine.tasks),
+        "lag_p99": artifacts.sink.lag_summary().p99 if artifacts.sink.values() else 0.0,
+    }
+
+
+def run_all():
+    return [run_generation(profile) for profile in GENERATIONS]
+
+
+def test_figure1_generations(benchmark):
+    reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for report in reports:
+        profile = report["profile"]
+        rows.append(
+            [
+                profile.title,
+                profile.era,
+                f"{report['counted']}/{EVENTS}",
+                report["shed"],
+                report["failures"],
+                report["parallel_tasks"],
+                fmt(report["lag_p99"] * 1e3, 0) + "ms",
+            ]
+        )
+    print_table(
+        "Figure 1 — one workload, three eras",
+        ["generation", "era", "results", "shed", "failures survived", "tasks", "result lag p99"],
+        rows,
+    )
+
+    matrix_rows = []
+    for profile in GENERATIONS:
+        row = capability_row(profile)
+        matrix_rows.append([profile.key] + [row[c] or "." for c in CAPABILITIES])
+    print_table("Figure 1 — capability matrix", ["gen"] + CAPABILITIES, matrix_rows)
+
+    gen1, gen2, gen3 = reports
+    # The figure's claims, asserted:
+    assert gen1["shed"] > 0 and not gen1["complete"], "gen1 must shed under overload"
+    assert gen2["complete"] and gen2["shed"] == 0, "gen2 absorbs the burst via backpressure"
+    assert gen3["complete"] and gen3["failures"] > 0, "gen3 survives failure exactly-once"
+    assert gen1["parallel_tasks"] < gen2["parallel_tasks"], "scale-up vs scale-out"

@@ -1,0 +1,132 @@
+"""E6 — §3.2: active vs passive standby.
+
+The same pipeline fails at the same instant under three HA strategies.
+Expected shape (the survey's claims):
+
+* active standby: near-instant failover (switchover only), zero data loss,
+  but ~2x resource-seconds — "the preferred option for critical apps";
+* passive standby: downtime = deploy + state transfer (scales with
+  snapshot size), ~1x resources, loses in-flight work unless sources rewind;
+* restart-from-checkpoint (the scale-out era's passive variant): downtime
+  plus source replay — complete results at the cost of duplicate work.
+"""
+
+from conftest import fmt, print_table
+
+from repro.core.datastream import StreamExecutionEnvironment
+from repro.core.keys import field_selector
+from repro.fault.standby import ActiveStandby, PassiveStandby
+from repro.fault.upstream import UpstreamBackup
+from repro.io import CollectSink, SensorWorkload
+from repro.runtime.config import CheckpointConfig, EngineConfig
+
+EVENTS = 4000
+RATE = 6000.0
+FAIL_AT = 0.3
+
+
+def build():
+    env = StreamExecutionEnvironment(
+        EngineConfig(seed=4, checkpoints=CheckpointConfig(interval=0.05)), name="ha"
+    )
+    sink = CollectSink("out")
+    (
+        env.from_workload(SensorWorkload(count=EVENTS, rate=RATE, key_count=32, seed=41))
+        .key_by(field_selector("sensor"))
+        .aggregate(create=lambda: 0, add=lambda a, _v: a + 1, name="count")
+        .sink(sink)
+    )
+    return env, sink
+
+
+def summarize(engine, sink, downtime, resources, strategy):
+    per_key = {}
+    for r in sink.results:
+        per_key[r.key] = max(per_key.get(r.key, 0), r.value)
+    busy = sum(m.busy_time for m in engine.metrics.tasks.values())
+    return {
+        "strategy": strategy,
+        "downtime": downtime,
+        "lost": EVENTS - sum(per_key.values()),
+        "resource_seconds": busy * resources,
+        "duplicates": max(0, len(sink.results) - EVENTS),
+    }
+
+
+def run_active():
+    env, sink = build()
+    engine = env.build()
+    standby = ActiveStandby(engine, "count[0]", switchover_delay=2e-3)
+    standby.arm()
+    report = {}
+    engine.kernel.call_at(FAIL_AT, lambda: report.update(r=standby.fail_and_promote()))
+    env.execute(until=60.0)
+    return summarize(engine, sink, report["r"].downtime, standby.resource_multiplier(), "active standby")
+
+
+def run_passive():
+    env, sink = build()
+    engine = env.build()
+    standby = PassiveStandby(engine, "count[0]", deploy_delay=0.05, transfer_cost_per_byte=2e-8)
+    report = {}
+    engine.kernel.call_at(FAIL_AT, lambda: report.update(r=standby.fail_and_recover()))
+    env.execute(until=60.0)
+    return summarize(engine, sink, report["r"].downtime, standby.resource_multiplier(), "passive standby")
+
+
+def run_restart_with_replay():
+    env, sink = build()
+    engine = env.build()
+    report = {}
+
+    def fail():
+        failed_at = engine.kernel.now()
+        engine.kill_task("count[0]")
+        resumed = engine.recover_from_checkpoint()
+        report["downtime"] = resumed - failed_at
+
+    engine.kernel.call_at(FAIL_AT, fail)
+    env.execute(until=60.0)
+    return summarize(engine, sink, report["downtime"], 1.0, "restart + replay")
+
+
+def run_upstream_backup():
+    env, sink = build()
+    engine = env.build()
+    backup = UpstreamBackup(engine, "key_by[0]", "count[0]", retention=60.0)
+    report = {}
+    engine.kernel.call_at(FAIL_AT, lambda: report.update(r=backup.fail_and_recover()))
+    env.execute(until=60.0)
+    return summarize(engine, sink, report["r"].downtime, backup.resource_multiplier(), "upstream backup")
+
+
+def run_all():
+    return [run_active(), run_passive(), run_restart_with_replay(), run_upstream_backup()]
+
+
+def test_ha_standby(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "E6 — HA strategies under one failure",
+        ["strategy", "downtime (s)", "lost events", "resource-seconds", "duplicate emissions"],
+        [
+            [r["strategy"], fmt(r["downtime"], 4), r["lost"], fmt(r["resource_seconds"], 3), r["duplicates"]]
+            for r in rows
+        ],
+    )
+    active, passive, restart, upstream = rows
+    # Active standby: fastest failover, zero loss, highest resource bill.
+    assert active["downtime"] < passive["downtime"] / 5
+    assert active["downtime"] < restart["downtime"]
+    assert active["lost"] == 0
+    assert active["resource_seconds"] > passive["resource_seconds"] * 1.5
+    # Passive standby without rewind loses the in-flight window.
+    assert passive["lost"] > 0
+    # Restart-from-checkpoint loses nothing but re-does work (duplicates).
+    assert restart["lost"] == 0
+    assert restart["duplicates"] > 0
+    # Upstream backup: lossless and checkpoint-free at ~1x resources — but
+    # it re-processes the whole retained queue (duplicate emissions).
+    assert upstream["lost"] == 0
+    assert upstream["duplicates"] > 0
+    assert upstream["resource_seconds"] < active["resource_seconds"]

@@ -1,0 +1,117 @@
+"""E12 — §4.1 ML: embedded train+serve vs RPC to an external model server.
+
+The same fraud stream is scored two ways: inside the dataflow (train and
+serve in one operator, versioned snapshots to a registry) and through a
+modelled external server (every score a round-trip; weights pushed on an
+interval). Expected shape: embedded wins on per-prediction latency by about
+the RPC round-trip and has zero model staleness, while the RPC path's
+staleness averages ~half the push interval.
+"""
+
+from conftest import fmt, print_table
+
+from repro.core.datastream import StreamExecutionEnvironment
+from repro.io import TransactionWorkload
+from repro.ml import (
+    EmbeddedTrainServeOperator,
+    ExternalModelServer,
+    ModelRegistry,
+    RPCServingOperator,
+    transaction_features,
+)
+from repro.runtime.config import EngineConfig
+
+EVENTS = 3000
+RPC_LATENCY = 2e-3
+PUSH_INTERVAL = 0.5
+# Keep the offered rate below the RPC path's service rate (1/RPC_LATENCY =
+# 500/s) so the comparison isolates the round-trip cost rather than
+# queueing collapse.
+RATE = 300.0
+
+
+def fraud_stream():
+    return TransactionWorkload(count=EVENTS, rate=RATE, key_count=150, fraud_fraction=0.1, seed=67)
+
+
+def run_embedded():
+    env = StreamExecutionEnvironment(EngineConfig(seed=8), name="embedded")
+    registry = ModelRegistry()
+    operators = []
+
+    def factory():
+        op = EmbeddedTrainServeOperator(
+            transaction_features(), label_of=lambda v: v["label"],
+            registry=registry, publish_every=500,
+        )
+        operators.append(op)
+        return op
+
+    sink = env.from_workload(fraud_stream()).apply_operator(factory, name="serve").collect("out")
+    env.execute()
+    op = operators[0]
+    latency = sink.latency_summary()
+    return {
+        "mode": "embedded",
+        "p50": latency.p50,
+        "p99": latency.p99,
+        "staleness": 0.0,
+        "accuracy": op.accuracy,
+        "versions": registry.version_count,
+    }
+
+
+def run_rpc():
+    env = StreamExecutionEnvironment(EngineConfig(seed=8), name="rpc")
+    server = ExternalModelServer(transaction_features().dim, rpc_latency=RPC_LATENCY)
+    operators = []
+
+    def factory():
+        op = RPCServingOperator(
+            transaction_features(), label_of=lambda v: v["label"],
+            server=server, push_interval=PUSH_INTERVAL,
+        )
+        operators.append(op)
+        return op
+
+    sink = env.from_workload(fraud_stream()).apply_operator(factory, name="rpc").collect("out")
+    env.execute()
+    op = operators[0]
+    latency = sink.latency_summary()
+    return {
+        "mode": "rpc-to-server",
+        "p50": latency.p50,
+        "p99": latency.p99,
+        "staleness": op.mean_staleness,
+        "accuracy": op.accuracy,
+        "versions": op._version,
+    }
+
+
+def run_all():
+    return [run_embedded(), run_rpc()]
+
+
+def test_ml_serving(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "E12 — model serving architectures (fraud stream, online SGD)",
+        ["architecture", "pred latency p50", "p99", "mean model staleness", "accuracy", "model versions"],
+        [
+            [r["mode"], fmt(r["p50"] * 1e3, 2) + "ms", fmt(r["p99"] * 1e3, 2) + "ms",
+             fmt(r["staleness"] * 1e3, 0) + "ms", f"{r['accuracy']:.3f}", r["versions"]]
+            for r in rows
+        ],
+    )
+    embedded, rpc = rows
+    # The RPC round-trip sits on every prediction's critical path.
+    assert rpc["p50"] >= embedded["p50"] + RPC_LATENCY * 0.9
+    # Embedded predictions always use the freshest weights.
+    assert embedded["staleness"] == 0.0
+    assert rpc["staleness"] > PUSH_INTERVAL * 0.2
+    # Both learn the task; the fresher model is at least as accurate.
+    assert embedded["accuracy"] > 0.9
+    assert rpc["accuracy"] > 0.85
+    assert embedded["accuracy"] >= rpc["accuracy"] - 0.02
+    # Both version their models during the run.
+    assert embedded["versions"] >= 5 and rpc["versions"] >= 3

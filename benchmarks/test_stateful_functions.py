@@ -1,0 +1,139 @@
+"""E11 — §4.1 Cloud Apps: stateful functions with async request/response.
+
+An order-payment-inventory workflow (the survey's loosely-coupled Cloud
+app) runs on the stateful-function runtime: per-entity state, two-way
+calls across functions, saga compensation on failure. Expected shape:
+every workflow terminates (completed or compensated), entity balances
+reconcile exactly, and per-address serial execution keeps state consistent
+under concurrent workflows — the semantics a static DAG cannot express.
+"""
+
+from conftest import fmt, print_table
+
+from repro.functions import Address, StatefulFunctionRuntime
+from repro.io import OrderWorkload
+from repro.sim import Kernel
+
+ORDERS = 600
+ITEMS = ("widget", "gadget", "doohickey")
+INITIAL_STOCK = 60
+INITIAL_BALANCE = 500.0
+
+
+def build_app(kernel):
+    app = StatefulFunctionRuntime(kernel)
+    completed = app.register_egress("completed")
+    rejected = app.register_egress("rejected")
+
+    def inventory(ctx, msg):
+        stock = ctx.storage.get(INITIAL_STOCK)
+        if msg["op"] == "reserve":
+            if stock >= msg["quantity"]:
+                ctx.storage.set(stock - msg["quantity"])
+                ctx.reply({"ok": True})
+            else:
+                ctx.reply({"ok": False, "reason": "out-of-stock"})
+        elif msg["op"] == "release":
+            ctx.storage.set(stock + msg["quantity"])
+
+    def payment(ctx, msg):
+        balance = ctx.storage.get(INITIAL_BALANCE)
+        if msg["op"] == "charge":
+            if balance >= msg["amount"]:
+                ctx.storage.set(balance - msg["amount"])
+                ctx.reply({"ok": True})
+            else:
+                ctx.reply({"ok": False, "reason": "insufficient-funds"})
+        elif msg["op"] == "refund":
+            ctx.storage.set(balance + msg["amount"])
+
+    def order(ctx, msg):
+        item = Address("inventory", msg["item"])
+        account = Address("payment", msg["customer"])
+        amount = msg["price"] * msg["quantity"]
+
+        def on_reserved(reply):
+            if not reply["ok"]:
+                rejected.append({"order": msg["order_id"], "reason": reply["reason"]})
+                return
+
+            def on_charged(pay_reply):
+                if pay_reply["ok"]:
+                    completed.append({"order": msg["order_id"], "amount": amount,
+                                      "item": msg["item"], "quantity": msg["quantity"],
+                                      "customer": msg["customer"]})
+                else:
+                    app.send(item, {"op": "release", "quantity": msg["quantity"]})
+                    rejected.append({"order": msg["order_id"], "reason": pay_reply["reason"]})
+
+            ctx.call(account, {"op": "charge", "amount": amount}).on_resolve(on_charged)
+
+        ctx.call(item, {"op": "reserve", "quantity": msg["quantity"]}).on_resolve(on_reserved)
+
+    app.register("inventory", inventory)
+    app.register("payment", payment)
+    app.register("order", order)
+    return app, completed, rejected
+
+
+def run():
+    kernel = Kernel()
+    app, completed, rejected = build_app(kernel)
+    workload = OrderWorkload(count=ORDERS, rate=400.0, key_count=40, seed=61)
+    placed = 0
+    t = 0.0
+    for event in workload.events():
+        t += event.inter_arrival
+        value = event.value
+        if value["command"] == "place":
+            placed += 1
+            kernel.call_at(t, lambda v=value: app.send(Address("order", v["order_id"]), v))
+    duration = kernel.run()
+
+    # Reconciliation: stock out + balances down must equal completed orders.
+    sold = {item: 0 for item in ITEMS}
+    spent: dict = {}
+    for order in completed:
+        sold[order["item"]] += order["quantity"]
+        spent[order["customer"]] = spent.get(order["customer"], 0.0) + order["amount"]
+    stock_ok = all(
+        app.state_of(Address("inventory", item), INITIAL_STOCK) == INITIAL_STOCK - sold[item]
+        for item in ITEMS
+    )
+    balances_ok = all(
+        abs(app.state_of(Address("payment", f"cust{i}"), INITIAL_BALANCE)
+            - (INITIAL_BALANCE - spent.get(f"cust{i}", 0.0))) < 1e-9
+        for i in range(40)
+    )
+    return {
+        "placed": placed,
+        "completed": len(completed),
+        "rejected": len(rejected),
+        "stock_ok": stock_ok,
+        "balances_ok": balances_ok,
+        "invocations": app.invocations,
+        "messages": app.messages_sent,
+        "failures": len(app.failures),
+        "duration": duration,
+    }
+
+
+def test_stateful_functions(benchmark):
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "E11 — stateful-function order workflow (saga semantics)",
+        ["placed", "completed", "rejected", "stock reconciles", "balances reconcile",
+         "invocations", "messages", "handler failures"],
+        [[report["placed"], report["completed"], report["rejected"], report["stock_ok"],
+          report["balances_ok"], report["invocations"], report["messages"], report["failures"]]],
+    )
+    # Every placed order terminated one way or the other.
+    assert report["completed"] + report["rejected"] == report["placed"]
+    # Both rejection paths occurred (stock exhaustion AND funds exhaustion
+    # exercise the compensation logic).
+    assert report["rejected"] > 0
+    assert report["completed"] > 0
+    # Exact reconciliation: serial per-address execution + compensation
+    # left no inconsistent state anywhere.
+    assert report["stock_ok"] and report["balances_ok"]
+    assert report["failures"] == 0

@@ -1,0 +1,94 @@
+"""E3 — "No pane, no gain": sliding-window aggregation sharing.
+
+Per-window recompute does O(window/slide) redundant work per element;
+panes (Li et al.) share partial aggregates across overlapping windows;
+two-stacks achieves amortized O(1) combines per element for any
+associative operator. The benchmark sweeps the window/slide ratio and
+reports both the combine-operation counts (exact work model) and real
+wall-clock via pytest-benchmark.
+
+Expected shape: naive cost grows linearly with the ratio; panes and
+two-stacks stay flat, separating by >10x at ratio 256.
+"""
+
+from conftest import print_table
+
+from repro.windows.aggregations import (
+    SUM,
+    NaiveSlidingAggregator,
+    PaneSlidingAggregator,
+    TwoStacksSlidingAggregator,
+    run_slider,
+)
+
+RATIOS = [4, 16, 64, 256]
+EVENTS_PER_RATIO = 4000
+SLIDE = 0.1
+
+
+def make_events(n=EVENTS_PER_RATIO):
+    # The +0.0005 keeps event times off exact slide boundaries, where the
+    # three engines' float comparisons could legitimately disagree by one
+    # event (see aggregations module docs).
+    return [(0.01 * (i + 1) + 0.0005, float(i % 17)) for i in range(n)]
+
+
+def sweep():
+    events = make_events()
+    rows = []
+    for ratio in RATIOS:
+        size = SLIDE * ratio
+        engines = {
+            "naive": NaiveSlidingAggregator(size, SLIDE, SUM),
+            "panes": PaneSlidingAggregator(size, SLIDE, SUM),
+            "two-stacks": TwoStacksSlidingAggregator(size, SLIDE, SUM),
+        }
+        results = {}
+        for name, engine in engines.items():
+            results[name] = run_slider(engine, events)
+        assert results["naive"] == results["panes"] == results["two-stacks"]
+        rows.append(
+            {
+                "ratio": ratio,
+                "naive": engines["naive"].operations,
+                "panes": engines["panes"].operations,
+                "two-stacks": engines["two-stacks"].operations,
+            }
+        )
+    return rows
+
+
+def test_window_aggregation_work_model(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "E3 — sliding aggregation: combine operations (window/slide sweep)",
+        ["window/slide", "naive", "panes", "two-stacks", "naive/panes", "naive/two-stacks"],
+        [
+            [r["ratio"], r["naive"], r["panes"], r["two-stacks"],
+             f"{r['naive'] / r['panes']:.1f}x", f"{r['naive'] / r['two-stacks']:.1f}x"]
+            for r in rows
+        ],
+    )
+    # Naive work grows linearly with the ratio; panes save a factor of
+    # events-per-pane (the paper's "gain"); two-stacks stays flat outright.
+    assert rows[-1]["naive"] > rows[0]["naive"] * 8
+    assert rows[-1]["two-stacks"] < rows[0]["two-stacks"] * 2
+    pane_gain = [r["naive"] / r["panes"] for r in rows]
+    assert pane_gain == sorted(pane_gain), "pane gain grows with the ratio"
+    assert pane_gain[-1] > 8
+    assert rows[-1]["naive"] / rows[-1]["two-stacks"] > 50
+
+
+def test_wallclock_naive(benchmark):
+    events = make_events(2000)
+    benchmark(lambda: run_slider(NaiveSlidingAggregator(SLIDE * 64, SLIDE, SUM), events))
+
+
+def test_wallclock_panes(benchmark):
+    events = make_events(2000)
+    benchmark(lambda: run_slider(PaneSlidingAggregator(SLIDE * 64, SLIDE, SUM), events))
+
+
+def test_wallclock_two_stacks(benchmark):
+    events = make_events(2000)
+    benchmark(lambda: run_slider(TwoStacksSlidingAggregator(SLIDE * 64, SLIDE, SUM), events))

@@ -1,0 +1,75 @@
+"""First-generation analytics: bounded-memory synopses (survey §3.1).
+
+Before managed partitioned state, DSMSs answered queries from approximate
+summaries. This example answers three classic questions over a skewed
+clickstream with three synopses — and compares memory and error against
+the exact answers:
+
+* "which pages are hottest?"            → count-min sketch
+* "what fraction of clicks convert?"    → reservoir sample
+* "how many clicks in the last 10 s?"   → exponential histogram
+
+Run:  python examples/approximate_analytics.py
+"""
+
+from repro.io import ClickstreamWorkload
+from repro.state.synopses import CountMinSketch, ExponentialHistogram, ReservoirSample
+
+
+def main() -> None:
+    workload = ClickstreamWorkload(count=40_000, rate=4000.0, key_count=5000, key_skew=1.1, seed=5)
+
+    sketch = CountMinSketch(epsilon=0.002, delta=0.01)
+    reservoir = ReservoirSample(capacity=800, seed=5)
+    window_counter = ExponentialHistogram(window=10.0, k=8)
+
+    exact_counts: dict = {}
+    exact_conversions = 0
+    timestamps = []
+    t = 0.0
+    total = 0
+    for event in workload.events():
+        t += event.inter_arrival
+        value = event.value
+        total += 1
+        page_key = (value["user"], value["page"])
+
+        sketch.add(value["user"])
+        reservoir.add(value["page"])
+        window_counter.add(t)
+
+        exact_counts[value["user"]] = exact_counts.get(value["user"], 0) + 1
+        if value["page"] == "confirm":
+            exact_conversions += 1
+        timestamps.append(t)
+
+    print("— hottest users: exact vs count-min —")
+    heavy = sorted(exact_counts, key=exact_counts.get, reverse=True)[:5]
+    for user in heavy:
+        estimate = sketch.estimate(user)
+        print(f"  {user}: exact={exact_counts[user]}  sketch={estimate}  "
+              f"(overcount {estimate - exact_counts[user]})")
+
+    print("\n— conversion rate: exact vs reservoir —")
+    exact_rate = exact_conversions / total
+    approx_rate = reservoir.estimate_fraction(lambda page: page == "confirm")
+    print(f"  exact={exact_rate:.4f}  reservoir({reservoir.capacity})={approx_rate:.4f}")
+
+    print("\n— clicks in the last 10 s: exact vs exponential histogram —")
+    exact_window = sum(1 for ts in timestamps if t - 10.0 < ts <= t)
+    estimate = window_counter.estimate(t)
+    print(f"  exact={exact_window}  estimate={estimate:.0f}  "
+          f"buckets={window_counter.bucket_count} "
+          f"(error bound {window_counter.relative_error_bound():.1%})")
+
+    print("\n— memory —")
+    print(f"  exact per-user counts: {len(exact_counts)} entries")
+    print(f"  count-min: {sketch.counters} counters "
+          f"(guarantee: overcount <= {sketch.error_bound():.0f} w.p. {1 - sketch.delta:.0%})")
+    print(f"  reservoir: {reservoir.capacity} samples of {reservoir.seen} seen")
+    print(f"  exponential histogram: {window_counter.bucket_count} buckets "
+          f"for {total} events")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""An event-driven Cloud application on streaming infrastructure (§4.1/§4.2).
+
+An e-commerce order workflow built from stateful functions — addressable,
+stateful, message-driven — with:
+
+* request/response calls between functions (async loops),
+* a saga-style compensation when payment fails,
+* per-entity state that is queryable while the app runs.
+
+This is the "stream processors as a backend for Cloud services" direction
+the survey highlights (Stateful Functions, Orleans, microservices).
+
+Run:  python examples/cloud_order_app.py
+"""
+
+from repro.functions import Address, StatefulFunctionRuntime
+from repro.io import OrderWorkload
+from repro.sim import Kernel
+
+
+def main() -> None:
+    kernel = Kernel()
+    app = StatefulFunctionRuntime(kernel)
+    completed = app.register_egress("completed")
+    rejected = app.register_egress("rejected")
+
+    # --- inventory function: one instance per item ----------------------
+    def inventory(ctx, msg):
+        stock = ctx.storage.get(25)
+        if msg["op"] == "reserve":
+            if stock >= msg["quantity"]:
+                ctx.storage.set(stock - msg["quantity"])
+                ctx.reply({"ok": True})
+            else:
+                ctx.reply({"ok": False, "reason": "out-of-stock"})
+        elif msg["op"] == "release":  # compensation
+            ctx.storage.set(stock + msg["quantity"])
+
+    # --- payment function: one instance per customer --------------------
+    def payment(ctx, msg):
+        balance = ctx.storage.get(300.0)
+        if msg["op"] == "charge":
+            if balance >= msg["amount"]:
+                ctx.storage.set(balance - msg["amount"])
+                ctx.reply({"ok": True})
+            else:
+                ctx.reply({"ok": False, "reason": "insufficient-funds"})
+        elif msg["op"] == "refund":  # compensation
+            ctx.storage.set(balance + msg["amount"])
+
+    # --- order function: orchestrates the saga --------------------------
+    def order(ctx, msg):
+        order_id = msg["order_id"]
+        item = Address("inventory", msg["item"])
+        account = Address("payment", msg["customer"])
+        amount = msg["price"] * msg["quantity"]
+
+        def on_reserved(reply):
+            if not reply["ok"]:
+                rejected.append({"order": order_id, "reason": reply["reason"]})
+                return
+
+            def on_charged(pay_reply):
+                if pay_reply["ok"]:
+                    ctx.storage.set({"status": "completed"})
+                    completed.append({"order": order_id, "amount": round(amount, 2)})
+                else:
+                    # Saga compensation: release the reserved stock.
+                    app.send(item, {"op": "release", "quantity": msg["quantity"]})
+                    rejected.append({"order": order_id, "reason": pay_reply["reason"]})
+
+            app.call(account, {"op": "charge", "amount": amount}).on_resolve(on_charged)
+
+        app.call(item, {"op": "reserve", "quantity": msg["quantity"]}).on_resolve(on_reserved)
+
+    app.register("inventory", inventory)
+    app.register("payment", payment)
+    app.register("order", order)
+
+    # Drive the app from the order stream.
+    workload = OrderWorkload(count=400, rate=200.0, key_count=30, seed=9)
+    t = 0.0
+    for event in workload.events():
+        t += event.inter_arrival
+        value = event.value
+        if value["command"] == "place":
+            kernel.call_at(t, lambda v=value: app.send(Address("order", v["order_id"]), v))
+    kernel.run()
+
+    print(f"orders completed: {len(completed)}   rejected: {len(rejected)}")
+    reasons: dict = {}
+    for r in rejected:
+        reasons[r["reason"]] = reasons.get(r["reason"], 0) + 1
+    print(f"rejection reasons: {reasons}")
+
+    # Queryable per-entity state: inspect a few live accounts/items.
+    print("\n— live state (queryable while running) —")
+    for item in ("widget", "gadget", "doohickey"):
+        print(f"  stock[{item}] = {app.state_of(Address('inventory', item))}")
+    total_revenue = sum(c["amount"] for c in completed)
+    print(f"  revenue recorded: {total_revenue:.2f}")
+    print(f"  invocations: {app.invocations}, messages: {app.messages_sent}")
+    assert not app.failures, app.failures
+
+
+if __name__ == "__main__":
+    main()

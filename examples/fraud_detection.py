@@ -1,0 +1,81 @@
+"""Credit-card fraud detection: CEP + in-pipeline online ML (survey §1, §4.1).
+
+Two detectors share one transaction stream:
+
+1. a CEP pattern (the classic '04–'10 era technique): a small "probe"
+   purchase followed by two large ones within 30 seconds;
+2. an online logistic-regression model trained *inside* the pipeline
+   (the §4.1 "train and serve in the same pipeline" architecture), with
+   versioned model snapshots published to a registry.
+
+Run:  python examples/fraud_detection.py
+"""
+
+from repro import StreamExecutionEnvironment, field_selector
+from repro.cep import Pattern
+from repro.io import TransactionWorkload
+from repro.ml import EmbeddedTrainServeOperator, ModelRegistry, transaction_features
+
+
+def fraud_pattern() -> Pattern:
+    return (
+        Pattern.begin("probe", lambda v: v["amount"] < 20)
+        .followed_by("burst", lambda v: v["amount"] > 500)
+        .times_exactly(2)
+        .within(30.0)
+    )
+
+
+def main() -> None:
+    env = StreamExecutionEnvironment(name="fraud")
+    transactions = env.from_workload(
+        TransactionWorkload(count=8000, rate=2000.0, key_count=200, fraud_fraction=0.05, seed=7),
+        name="cards",
+    )
+
+    # Detector 1: CEP pattern per card.
+    cep_alerts = (
+        transactions.key_by(field_selector("card"))
+        .pattern(fraud_pattern(), name="cep")
+        .collect("cep-alerts")
+    )
+
+    # Detector 2: online model, trained and served in-stream.
+    registry = ModelRegistry()
+    operators = []
+
+    def serving_factory():
+        op = EmbeddedTrainServeOperator(
+            transaction_features(),
+            label_of=lambda v: v["label"],
+            registry=registry,
+            publish_every=500,
+        )
+        operators.append(op)
+        return op
+
+    ml_alerts = (
+        transactions.apply_operator(serving_factory, name="ml")
+        .filter(lambda p: p.predicted == 1, name="flagged")
+        .collect("ml-alerts")
+    )
+
+    env.execute()
+
+    model = operators[0]
+    print(f"CEP alerts: {len(cep_alerts.results)}")
+    for record in cep_alerts.results[:5]:
+        match = record.value
+        amounts = [v["amount"] for _s, v in match.events]
+        print(f"  card={match.key} amounts={amounts} span={match.duration:.1f}s")
+
+    print(f"\nML flagged: {len(ml_alerts.results)} transactions")
+    print(f"prequential accuracy: {model.accuracy:.3f}")
+    print(f"model versions published: {registry.version_count}")
+    flagged_true = sum(1 for r in ml_alerts.results if r.value.label == 1)
+    precision = flagged_true / len(ml_alerts.results) if ml_alerts.results else 0.0
+    print(f"alert precision: {precision:.3f}")
+
+
+if __name__ == "__main__":
+    main()

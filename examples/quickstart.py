@@ -1,0 +1,56 @@
+"""Quickstart: windowed streaming analytics in 30 lines.
+
+A disordered IoT sensor stream is keyed by sensor, assigned to tumbling
+event-time windows, aggregated, and collected — with watermarks handling
+the out-of-orderness (survey §2.2/§2.3).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import StreamExecutionEnvironment, field_selector
+from repro.io import SensorWorkload
+from repro.progress import BoundedOutOfOrderness
+from repro.windows import TumblingEventTimeWindows
+
+
+def main() -> None:
+    env = StreamExecutionEnvironment(name="quickstart")
+
+    sensors = SensorWorkload(
+        count=5000,       # events
+        rate=2000.0,      # events/second
+        disorder=0.05,    # event time lags arrival by up to 50 ms
+        key_count=4,      # sensors s0..s3
+        seed=42,
+    )
+
+    sink = (
+        env.from_workload(sensors, watermarks=BoundedOutOfOrderness(0.1))
+        .key_by(field_selector("sensor"))
+        .window(TumblingEventTimeWindows(0.5))
+        .aggregate(
+            create=lambda: (0.0, 0),
+            add=lambda acc, v: (acc[0] + v["reading"], acc[1] + 1),
+            result=lambda acc: round(acc[0] / acc[1], 2),
+            merge=lambda a, b: (a[0] + b[0], a[1] + b[1]),
+        )
+        .collect("window-means")
+    )
+
+    result = env.execute()
+
+    print(f"pipeline finished at t={result.duration:.2f}s (virtual)")
+    print(f"{'sensor':>8} {'window':>12} {'mean reading':>12}")
+    for record in sorted(sink.results, key=lambda r: (r.value.key, r.value.start))[:16]:
+        window = f"[{record.value.start:.1f},{record.value.end:.1f})"
+        print(f"{record.value.key:>8} {window:>12} {record.value.value:>12}")
+    stats = sink.lag_summary()
+    print(
+        f"\nwindow-result delay past window end: "
+        f"p50={stats.p50 * 1e3:.0f}ms p99={stats.p99 * 1e3:.0f}ms "
+        f"(the watermark bound + pipeline latency)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Ride-sharing analytics: streaming graphs + windows (survey §4.1).
+
+The §4.1 motivating use-case: a road network evolves as traffic reports
+arrive (edge weight updates); the app continuously answers shortest-path
+queries from the depot to hotspots while a windowed aggregate tracks demand
+per pickup zone — graph state and relational analytics in one job.
+
+Run:  python examples/ride_sharing.py
+"""
+
+from repro import StreamExecutionEnvironment, field_selector
+from repro.graphs import GraphStreamOperator, IncrementalSSSP
+from repro.io import GraphEdgeWorkload, RideWorkload
+from repro.progress import BoundedOutOfOrderness
+from repro.windows import SlidingEventTimeWindows
+
+
+def main() -> None:
+    env = StreamExecutionEnvironment(name="rides")
+
+    # Stream 1: road-network updates → continuous shortest paths from depot 0.
+    sssp_ops = []
+
+    def sssp_factory():
+        op = GraphStreamOperator(
+            IncrementalSSSP(0),
+            query=lambda algo, event: {
+                "to_airport": algo.distance(24),
+                "to_stadium": algo.distance(17),
+            },
+        )
+        sssp_ops.append(op)
+        return op
+
+    roads = env.from_workload(
+        GraphEdgeWorkload(count=2000, rate=500.0, vertex_count=25, delete_fraction=0.1, seed=3),
+        name="roads",
+    )
+    route_sink = roads.apply_operator(sssp_factory, name="sssp").collect("routes")
+
+    # Stream 2: ride requests → demand per pickup zone, 60s windows sliding 15s.
+    rides = env.from_workload(
+        RideWorkload(count=6000, rate=1500.0, disorder=0.1, key_count=300, grid=5, seed=4),
+        name="rides",
+        watermarks=BoundedOutOfOrderness(0.2),
+    )
+    demand_sink = (
+        rides.filter(lambda v: v["kind"] == "request", name="requests")
+        .key_by(lambda v: v["pickup"], name="by-zone")
+        .window(SlidingEventTimeWindows(1.0, 0.25))
+        .count()
+        .collect("demand")
+    )
+
+    env.execute()
+
+    print("— continuous shortest paths (last 5 updates) —")
+    for record in route_sink.results[-5:]:
+        print(f"  depot→airport: {record.value['to_airport']:6.2f}   "
+              f"depot→stadium: {record.value['to_stadium']:6.2f}")
+    print(f"graph events processed: {sssp_ops[0].events_applied}")
+    print(f"relaxations (incremental): {sssp_ops[0].algorithm.relaxations}")
+
+    print("\n— hottest pickup zones (peak sliding-window demand) —")
+    peak: dict = {}
+    for record in demand_sink.results:
+        zone = record.value.key
+        peak[zone] = max(peak.get(zone, 0), record.value.value)
+    for zone, demand in sorted(peak.items(), key=lambda kv: -kv[1])[:5]:
+        print(f"  zone {zone}: {demand} requests/window")
+
+
+if __name__ == "__main__":
+    main()

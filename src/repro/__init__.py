@@ -1,0 +1,54 @@
+"""repro — a reproduction of "Beyond Analytics: The Evolution of Stream
+Processing Systems" (SIGMOD 2020).
+
+A deterministic, discrete-event-simulated stream processing framework that
+implements the full design space the survey covers: CQL and windows,
+watermarks/punctuations/heartbeats/slack/frontiers, managed state with
+multiple backends, checkpointing and high availability, load shedding,
+backpressure and elasticity, CEP, streaming transactions, stateful
+functions, queryable and versioned state, dynamic topologies, streaming
+graphs, online ML, and modelled hardware acceleration.
+
+Quickstart::
+
+    from repro import StreamExecutionEnvironment, field_selector
+    from repro.io import SensorWorkload, CollectSink
+    from repro.progress import BoundedOutOfOrderness
+    from repro.windows import TumblingEventTimeWindows
+
+    env = StreamExecutionEnvironment()
+    sink = (env.from_workload(SensorWorkload(count=1000, disorder=0.05),
+                              watermarks=BoundedOutOfOrderness(0.1))
+              .key_by(field_selector("sensor"))
+              .window(TumblingEventTimeWindows(1.0))
+              .aggregate(create=lambda: 0.0, add=lambda acc, v: acc + v["reading"])
+              .collect())
+    env.execute()
+    print(sink.values())
+"""
+
+from repro.core import (
+    DataStream,
+    KeyedStream,
+    Record,
+    StreamExecutionEnvironment,
+    Watermark,
+    field_selector,
+    record,
+)
+from repro.runtime import CheckpointConfig, EngineConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CheckpointConfig",
+    "DataStream",
+    "EngineConfig",
+    "KeyedStream",
+    "Record",
+    "StreamExecutionEnvironment",
+    "Watermark",
+    "__version__",
+    "field_selector",
+    "record",
+]

@@ -1,0 +1,23 @@
+"""Complex Event Processing: patterns, NFA matching, skip strategies."""
+
+from repro.cep.nfa import NFA
+from repro.cep.operator import CEPOperator
+from repro.cep.patterns import (
+    Contiguity,
+    Match,
+    Pattern,
+    Quantifier,
+    SkipStrategy,
+    Stage,
+)
+
+__all__ = [
+    "CEPOperator",
+    "Contiguity",
+    "Match",
+    "NFA",
+    "Pattern",
+    "Quantifier",
+    "SkipStrategy",
+    "Stage",
+]

@@ -1,0 +1,213 @@
+"""NFA-based pattern matching.
+
+The compiled automaton keeps a set of *runs* (partial matches) per key.
+Each event may extend runs (take), be skipped by them (ignore, relaxed
+contiguity), kill them (strict contiguity violation or window timeout), or
+start a new run. Nondeterminism (an event that could either extend a
+kleene stage or let the run wait) is handled by branching runs, the classic
+SASE/Flink-CEP construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.cep.patterns import Contiguity, Match, Pattern, Quantifier, SkipStrategy
+from repro.errors import PatternError
+
+
+@dataclass(frozen=True)
+class _Run:
+    stage_index: int
+    events: tuple[tuple[str, Any], ...]
+    started_at: float
+    start_seq: int  # sequence number of the first event (skip strategies)
+    times_taken: int = 0  # matches consumed in the current stage
+
+    def partial(self) -> dict[str, list[Any]]:
+        out: dict[str, list[Any]] = {}
+        for name, value in self.events:
+            out.setdefault(name, []).append(value)
+        return out
+
+
+class NFA:
+    """One NFA instance per key (the CEP operator keeps a map of these)."""
+
+    def __init__(self, pattern: Pattern, max_runs: int = 10_000) -> None:
+        pattern.validate()
+        self.pattern = pattern
+        self.max_runs = max_runs
+        self._runs: list[_Run] = []
+        self._seq = 0
+        self.overflowed = 0
+        self.peak_runs = 0
+
+    # ------------------------------------------------------------------
+    def advance(self, value: Any, event_time: float, key: Any = None) -> list[Match]:
+        """Feed one event; returns completed matches."""
+        seq = self._seq
+        self._seq += 1
+        stages = self.pattern.stages
+        window = self.pattern.window
+        survivors: list[_Run] = []
+        completed: list[Match] = []
+
+        candidates = list(self._runs)
+        # Every event may also begin a fresh run.
+        candidates.append(_Run(stage_index=0, events=(), started_at=event_time, start_seq=seq))
+
+        for run in candidates:
+            # Window timeout prunes the run entirely.
+            if window is not None and run.events and event_time - run.started_at > window:
+                continue
+            stage = stages[run.stage_index]
+            matched = stage.matches(value, run.partial())
+
+            took = False
+            if matched:
+                taken = run.events + ((stage.name, value),)
+                started = run.started_at if run.events else event_time
+                if stage.quantifier in (Quantifier.ONE, Quantifier.OPTIONAL):
+                    self._advance_run(
+                        replace(run, events=taken, started_at=started, times_taken=0),
+                        run.stage_index + 1,
+                        event_time,
+                        key,
+                        survivors,
+                        completed,
+                    )
+                    took = True
+                elif stage.quantifier is Quantifier.ONE_OR_MORE:
+                    # Branch: keep looping in this stage AND try to move on.
+                    looping = replace(
+                        run,
+                        events=taken,
+                        started_at=started,
+                        times_taken=run.times_taken + 1,
+                    )
+                    survivors.append(looping)
+                    self._advance_run(
+                        replace(looping, times_taken=0),
+                        run.stage_index + 1,
+                        event_time,
+                        key,
+                        survivors,
+                        completed,
+                    )
+                    took = True
+                elif stage.quantifier is Quantifier.TIMES:
+                    count = run.times_taken + 1
+                    if count >= stage.times:
+                        self._advance_run(
+                            replace(run, events=taken, started_at=started, times_taken=0),
+                            run.stage_index + 1,
+                            event_time,
+                            key,
+                            survivors,
+                            completed,
+                        )
+                    else:
+                        survivors.append(
+                            replace(run, events=taken, started_at=started, times_taken=count)
+                        )
+                    took = True
+                else:  # pragma: no cover - exhaustive enum
+                    raise PatternError(f"unknown quantifier {stage.quantifier}")
+
+            if not matched and stage.quantifier is Quantifier.OPTIONAL and run.events:
+                # Skip the optional stage: retry this event at the next stage.
+                next_stage = stages[run.stage_index + 1] if run.stage_index + 1 < len(stages) else None
+                if next_stage is not None and next_stage.matches(value, run.partial()):
+                    taken = run.events + ((next_stage.name, value),)
+                    self._advance_run(
+                        replace(run, events=taken, times_taken=0),
+                        run.stage_index + 2,
+                        event_time,
+                        key,
+                        survivors,
+                        completed,
+                    )
+                    took = True
+
+            if run.events and not took:
+                # The run did not consume this event: with relaxed
+                # contiguity it ignores it (skip-till-next-match); a strict
+                # stage kills the run on any non-taken event.
+                if stage.contiguity is Contiguity.RELAXED:
+                    survivors.append(run)
+            # An empty starter run that took nothing simply evaporates.
+
+        # After-match skip strategies.
+        if completed:
+            survivors = self._apply_skip(survivors, completed)
+
+        if len(survivors) > self.max_runs:
+            self.overflowed += len(survivors) - self.max_runs
+            survivors = survivors[-self.max_runs :]
+        self._runs = survivors
+        self.peak_runs = max(self.peak_runs, len(self._runs))
+        return completed
+
+    def _advance_run(
+        self,
+        run: _Run,
+        next_index: int,
+        event_time: float,
+        key: Any,
+        survivors: list[_Run],
+        completed: list[Match],
+    ) -> None:
+        """Move a run to ``next_index``, completing it if past the last stage."""
+        stages = self.pattern.stages
+        if next_index >= len(stages):
+            completed.append(
+                Match(
+                    key=key,
+                    events=run.events,
+                    started_at=run.started_at,
+                    ended_at=event_time,
+                )
+            )
+            return
+        survivors.append(replace(run, stage_index=next_index))
+
+    def _apply_skip(self, survivors: list[_Run], completed: list[Match]) -> list[_Run]:
+        strategy = self.pattern.skip_strategy
+        if strategy is SkipStrategy.NO_SKIP:
+            return survivors
+        if strategy is SkipStrategy.SKIP_PAST_LAST:
+            # Discard every partial run overlapping a completed match.
+            horizon = max(match.ended_at for match in completed)
+            return [run for run in survivors if run.started_at > horizon]
+        if strategy is SkipStrategy.SKIP_TO_NEXT:
+            starts = {match.started_at for match in completed}
+            return [run for run in survivors if run.started_at not in starts]
+        return survivors
+
+    # ------------------------------------------------------------------
+    def expire_before(self, event_time: float) -> int:
+        """Drop runs whose window can no longer complete; returns count."""
+        window = self.pattern.window
+        if window is None:
+            return 0
+        before = len(self._runs)
+        self._runs = [r for r in self._runs if event_time - r.started_at <= window]
+        return before - len(self._runs)
+
+    @property
+    def active_runs(self) -> int:
+        return len(self._runs)
+
+    def snapshot(self) -> Any:
+        """Serialize active runs + counters for a checkpoint."""
+        return (list(self._runs), self._seq, self.overflowed, self.peak_runs)
+
+    def restore(self, snapshot: Any) -> None:
+        """Load run state captured by :meth:`snapshot`."""
+        runs, seq, overflowed, peak = snapshot
+        self._runs = list(runs)
+        self._seq = seq
+        self.overflowed = overflowed
+        self.peak_runs = peak

@@ -1,0 +1,69 @@
+"""The CEP dataflow operator: one NFA per key, matches as output records."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cep.nfa import NFA
+from repro.cep.patterns import Match, Pattern
+from repro.core.events import Record
+from repro.core.operators.base import Operator, OperatorContext
+
+
+class CEPOperator(Operator):
+    """Runs a :class:`Pattern` against a keyed stream; emits
+    :class:`~repro.cep.patterns.Match` values.
+
+    NFA run state lives in the operator (per key) and is checkpointed via
+    ``snapshot_state`` — an example of operator-internal state alongside the
+    backend-managed keyed state.
+    """
+
+    def __init__(self, pattern: Pattern, max_runs: int = 10_000, name: str = "cep") -> None:
+        pattern.validate()
+        self.pattern = pattern
+        self.max_runs = max_runs
+        self._name = name
+        self._nfas: dict[Any, NFA] = {}
+        self.matches_emitted = 0
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def _nfa_for(self, key: Any) -> NFA:
+        nfa = self._nfas.get(key)
+        if nfa is None:
+            nfa = NFA(self.pattern, max_runs=self.max_runs)
+            self._nfas[key] = nfa
+        return nfa
+
+    def process(self, record: Record, ctx: OperatorContext) -> None:
+        event_time = record.event_time if record.event_time is not None else ctx.processing_time()
+        nfa = self._nfa_for(record.key)
+        for match in nfa.advance(record.value, event_time, key=record.key):
+            self.matches_emitted += 1
+            ctx.emit(Record(value=match, event_time=match.ended_at, key=record.key))
+
+    def on_watermark(self, watermark, ctx: OperatorContext) -> None:
+        # Garbage-collect runs that can never complete their window.
+        if watermark.timestamp != float("inf"):
+            for nfa in self._nfas.values():
+                nfa.expire_before(watermark.timestamp)
+        ctx.emit(watermark)
+
+    def snapshot_state(self) -> Any:
+        return {key: nfa.snapshot() for key, nfa in self._nfas.items()}
+
+    def restore_state(self, snapshot: Any) -> None:
+        if snapshot is None:
+            return
+        self._nfas = {}
+        for key, nfa_snapshot in snapshot.items():
+            nfa = NFA(self.pattern, max_runs=self.max_runs)
+            nfa.restore(nfa_snapshot)
+            self._nfas[key] = nfa
+
+    @property
+    def total_active_runs(self) -> int:
+        return sum(nfa.active_runs for nfa in self._nfas.values())

@@ -1,0 +1,176 @@
+"""CEP pattern definition API (the '04–'10 commercial era, survey §1).
+
+A pattern is a sequence of *stages*, each with a predicate, a contiguity
+requirement relative to the previous stage, and a quantifier::
+
+    Pattern.begin("small", lambda v: v["amount"] < 10)
+           .followed_by("big", lambda v: v["amount"] > 500)
+           .times("big", 2)
+           .within(60.0)
+
+Iterative conditions receive the partial match as a second argument when
+the predicate accepts two parameters.
+"""
+
+from __future__ import annotations
+
+import enum
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import PatternError
+
+
+class Contiguity(enum.Enum):
+    STRICT = "strict"  # `next`: no non-matching event in between
+    RELAXED = "relaxed"  # `followed_by`: ignore non-matching events
+
+
+class Quantifier(enum.Enum):
+    ONE = "one"
+    ONE_OR_MORE = "one_or_more"
+    TIMES = "times"
+    OPTIONAL = "optional"
+
+
+class SkipStrategy(enum.Enum):
+    """After-match skip strategies bound the match explosion."""
+
+    NO_SKIP = "no_skip"
+    SKIP_TO_NEXT = "skip_to_next"  # discard runs sharing the match's start event
+    SKIP_PAST_LAST = "skip_past_last"  # discard all runs overlapping the match
+
+
+@dataclass
+class Stage:
+    name: str
+    predicate: Callable[..., bool]
+    contiguity: Contiguity = Contiguity.RELAXED
+    quantifier: Quantifier = Quantifier.ONE
+    times: int = 1
+    takes_match: bool = False  # predicate(value, partial_match)
+
+    def matches(self, value: Any, partial: dict[str, list[Any]]) -> bool:
+        """Evaluate the stage predicate against ``value`` (and the partial match for iterative conditions)."""
+        if self.takes_match:
+            return bool(self.predicate(value, partial))
+        return bool(self.predicate(value))
+
+
+def _arity(fn: Callable[..., bool]) -> int:
+    try:
+        params = [
+            p
+            for p in inspect.signature(fn).parameters.values()
+            if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+        ]
+        return len(params)
+    except (TypeError, ValueError):
+        return 1
+
+
+class Pattern:
+    """Builder for CEP patterns. Immutable after compilation by the NFA."""
+
+    def __init__(self) -> None:
+        self.stages: list[Stage] = []
+        self.window: float | None = None
+        self.skip_strategy: SkipStrategy = SkipStrategy.NO_SKIP
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def begin(cls, name: str, predicate: Callable[..., bool]) -> "Pattern":
+        pattern = cls()
+        pattern.stages.append(
+            Stage(name, predicate, Contiguity.RELAXED, takes_match=_arity(predicate) >= 2)
+        )
+        return pattern
+
+    def _add(self, name: str, predicate: Callable[..., bool], contiguity: Contiguity) -> "Pattern":
+        if any(stage.name == name for stage in self.stages):
+            raise PatternError(f"duplicate stage name {name!r}")
+        self.stages.append(
+            Stage(name, predicate, contiguity, takes_match=_arity(predicate) >= 2)
+        )
+        return self
+
+    def next(self, name: str, predicate: Callable[..., bool]) -> "Pattern":
+        """Strict contiguity: the very next event must match."""
+        return self._add(name, predicate, Contiguity.STRICT)
+
+    def followed_by(self, name: str, predicate: Callable[..., bool]) -> "Pattern":
+        """Relaxed contiguity: later events may intervene."""
+        return self._add(name, predicate, Contiguity.RELAXED)
+
+    # --- quantifiers on the most recent stage ---------------------------
+    def _last(self) -> Stage:
+        if not self.stages:
+            raise PatternError("pattern has no stages")
+        return self.stages[-1]
+
+    def one_or_more(self) -> "Pattern":
+        """Kleene closure on the most recent stage (relaxed looping)."""
+        self._last().quantifier = Quantifier.ONE_OR_MORE
+        return self
+
+    def times_exactly(self, count: int) -> "Pattern":
+        """Require the most recent stage to match exactly ``count`` times."""
+        if count < 1:
+            raise PatternError("times must be >= 1")
+        stage = self._last()
+        stage.quantifier = Quantifier.TIMES
+        stage.times = count
+        return self
+
+    def optional(self) -> "Pattern":
+        """Mark the most recent stage as skippable."""
+        if len(self.stages) == 1:
+            raise PatternError("the first stage cannot be optional")
+        self._last().quantifier = Quantifier.OPTIONAL
+        return self
+
+    # --- pattern-wide constraints ----------------------------------------
+    def within(self, duration: float) -> "Pattern":
+        """Constrain matches to span at most ``duration`` event-time seconds."""
+        if duration <= 0:
+            raise PatternError("within duration must be positive")
+        self.window = duration
+        return self
+
+    def with_skip(self, strategy: SkipStrategy) -> "Pattern":
+        """Set the after-match skip strategy."""
+        self.skip_strategy = strategy
+        return self
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`PatternError` on structurally invalid patterns."""
+        if not self.stages:
+            raise PatternError("empty pattern")
+        if self.stages[0].quantifier is Quantifier.OPTIONAL:
+            raise PatternError("the first stage cannot be optional")
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+
+@dataclass(frozen=True)
+class Match:
+    """A completed pattern instance."""
+
+    key: Any
+    events: tuple[tuple[str, Any], ...]  # (stage name, value) in match order
+    started_at: float
+    ended_at: float
+
+    def by_stage(self) -> dict[str, list[Any]]:
+        """Group the matched values by stage name."""
+        out: dict[str, list[Any]] = {}
+        for name, value in self.events:
+            out.setdefault(name, []).append(value)
+        return out
+
+    @property
+    def duration(self) -> float:
+        return self.ended_at - self.started_at

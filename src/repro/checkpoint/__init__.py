@@ -1,0 +1,21 @@
+"""Checkpointing & recovery mechanisms (survey §3.1/§3.2).
+
+Aligned barrier snapshots live in the runtime
+(:class:`repro.runtime.task.Task` alignment + the engine coordinator);
+this package adds the alternatives the survey compares:
+
+* incremental snapshots — :mod:`repro.checkpoint.incremental`
+* lineage/micro-batch recomputation — :mod:`repro.checkpoint.lineage`
+"""
+
+from repro.checkpoint.incremental import DeltaSnapshot, IncrementalSnapshotter, restore_chain
+from repro.checkpoint.lineage import BatchRef, LineageGraph, stateful_dstream
+
+__all__ = [
+    "BatchRef",
+    "DeltaSnapshot",
+    "IncrementalSnapshotter",
+    "LineageGraph",
+    "restore_chain",
+    "stateful_dstream",
+]

@@ -1,0 +1,156 @@
+"""Incremental checkpointing: snapshot only what changed (survey §3.1).
+
+Full snapshots scale with total state size; incremental snapshots (RocksDB
+SST-upload style) scale with the churn between checkpoints. The
+:class:`IncrementalSnapshotter` wraps any keyed backend, tracks dirty keys,
+and produces deltas; :func:`restore_chain` folds a base + deltas back into a
+backend. Experiment E5 sweeps state size vs. churn to show the crossover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.errors import CheckpointError
+from repro.state.api import KeyedStateBackend, StateDescriptor
+
+_DELETED = b"\x00__deleted__"
+
+
+@dataclass
+class DeltaSnapshot:
+    """Changes since the previous snapshot in the chain."""
+
+    snapshot_id: int
+    base_id: int | None  # None = this is a full (base) snapshot
+    entries: dict[str, dict[Any, bytes]] = field(default_factory=dict)
+
+    def size_bytes(self) -> int:
+        """Serialized size of this snapshot's entries (cost-model input)."""
+        return sum(len(d) + 16 for es in self.entries.values() for d in es.values())
+
+    @property
+    def is_full(self) -> bool:
+        return self.base_id is None
+
+
+class IncrementalSnapshotter(KeyedStateBackend):
+    """Backend wrapper that remembers which (descriptor, key) pairs changed.
+
+    Use as the task's backend; call :meth:`delta_snapshot` at each
+    checkpoint and :meth:`full_snapshot` to rebase the chain.
+    """
+
+    def __init__(self, inner: KeyedStateBackend) -> None:
+        super().__init__()
+        self._inner = inner
+        self._dirty: set[tuple[str, Any]] = set()
+        self._deleted: set[tuple[str, Any]] = set()
+        self._next_id = 1
+        self._last_id: int | None = None
+        self.read_latency = inner.read_latency
+        self.write_latency = inner.write_latency
+        self.survives_task_failure = inner.survives_task_failure
+
+    # --- delegation with dirty tracking ---------------------------------
+    def register(self, descriptor: StateDescriptor) -> None:
+        self._inner.register(descriptor)
+
+    def get(self, descriptor: StateDescriptor, key: Any) -> Any:
+        self.stats.reads += 1
+        return self._inner.get(descriptor, key)
+
+    def put(self, descriptor: StateDescriptor, key: Any, value: Any) -> None:
+        self.stats.writes += 1
+        self._dirty.add((descriptor.name, key))
+        self._deleted.discard((descriptor.name, key))
+        self._inner.put(descriptor, key, value)
+
+    def delete(self, descriptor: StateDescriptor, key: Any) -> None:
+        self.stats.writes += 1
+        self._dirty.discard((descriptor.name, key))
+        self._deleted.add((descriptor.name, key))
+        self._inner.delete(descriptor, key)
+
+    def keys(self, descriptor: StateDescriptor) -> Iterator[Any]:
+        return self._inner.keys(descriptor)
+
+    def descriptors(self) -> list[StateDescriptor]:
+        return self._inner.descriptors()
+
+    # --- snapshot chain ---------------------------------------------------
+    def full_snapshot(self) -> DeltaSnapshot:
+        """A base snapshot containing everything; resets dirty tracking."""
+        snapshot = DeltaSnapshot(snapshot_id=self._next_id, base_id=None)
+        self._next_id += 1
+        for name, entries in self._inner.snapshot().items():
+            snapshot.entries[name] = dict(entries)
+        self._dirty.clear()
+        self._deleted.clear()
+        self._last_id = snapshot.snapshot_id
+        return snapshot
+
+    def delta_snapshot(self) -> DeltaSnapshot:
+        """Only entries touched since the previous snapshot (falls back to a
+        full snapshot if none was taken yet)."""
+        if self._last_id is None:
+            return self.full_snapshot()
+        snapshot = DeltaSnapshot(snapshot_id=self._next_id, base_id=self._last_id)
+        self._next_id += 1
+        by_name = {d.name: d for d in self._inner.descriptors()}
+        for name, key in self._dirty:
+            descriptor = by_name.get(name)
+            if descriptor is None:
+                continue
+            value = self._inner.get(descriptor, key)
+            if value is None:
+                continue
+            snapshot.entries.setdefault(name, {})[key] = descriptor.serde.serialize(value)
+        for name, key in self._deleted:
+            snapshot.entries.setdefault(name, {})[key] = _DELETED
+        self._dirty.clear()
+        self._deleted.clear()
+        self._last_id = snapshot.snapshot_id
+        return snapshot
+
+    @property
+    def inner(self) -> KeyedStateBackend:
+        return self._inner
+
+
+def restore_chain(target: KeyedStateBackend, chain: list[DeltaSnapshot]) -> int:
+    """Fold a base + ordered deltas into ``target``; returns entries applied.
+
+    The chain must start with a full snapshot and be ordered: each delta's
+    ``base_id`` must match its predecessor's id.
+    """
+    if not chain:
+        raise CheckpointError("empty snapshot chain")
+    if not chain[0].is_full:
+        raise CheckpointError("snapshot chain must start with a full snapshot")
+    previous = chain[0].snapshot_id
+    for delta in chain[1:]:
+        if delta.base_id != previous:
+            raise CheckpointError(
+                f"broken chain: delta {delta.snapshot_id} bases on {delta.base_id}, "
+                f"expected {previous}"
+            )
+        previous = delta.snapshot_id
+
+    by_name = {d.name: d for d in target.descriptors()}
+    applied = 0
+    for snapshot in chain:
+        for name, entries in snapshot.entries.items():
+            descriptor = by_name.get(name)
+            if descriptor is None:
+                descriptor = StateDescriptor(name)
+                target.register(descriptor)
+                by_name[name] = descriptor
+            for key, data in entries.items():
+                if data == _DELETED:
+                    target.delete(descriptor, key)
+                else:
+                    target.put(descriptor, key, descriptor.serde.deserialize(data))
+                applied += 1
+    return applied

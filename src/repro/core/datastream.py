@@ -1,0 +1,278 @@
+"""Fluent pipeline-building API (the gen-2 functional surface, §2.1).
+
+Example::
+
+    env = StreamExecutionEnvironment()
+    (env.from_workload(SensorWorkload(1000), watermarks=BoundedOutOfOrderness(0.1))
+        .key_by(field_selector("sensor"))
+        .window(TumblingEventTimeWindows(1.0))
+        .aggregate(create=lambda: 0, add=lambda a, v: a + 1, result=lambda a: a)
+        .sink(CollectSink("counts")))
+    result = env.execute()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.core.graph import ChannelSpec, LogicalNode, Partitioning, StreamGraph
+from repro.core.keys import KeySelector
+from repro.core.operators.base import Operator
+from repro.core.operators.basic import (
+    AggregatingOperator,
+    FilterOperator,
+    FlatMapOperator,
+    KeyByOperator,
+    MapOperator,
+    ProcessOperator,
+    ReduceOperator,
+    SinkOperator,
+    UnionOperator,
+)
+from repro.errors import GraphError
+from repro.io.sinks import CollectSink, Sink
+from repro.io.sources import CollectionWorkload, Workload
+from repro.progress.watermarks import WatermarkStrategy
+from repro.runtime.config import EngineConfig
+from repro.runtime.engine import Engine, JobResult
+
+
+class StreamExecutionEnvironment:
+    """Owns the logical graph under construction and executes it."""
+
+    def __init__(self, config: EngineConfig | None = None, name: str = "job") -> None:
+        self.config = config or EngineConfig()
+        self.graph = StreamGraph(name)
+        self.engine: Engine | None = None
+        self._name_counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def unique_name(self, base: str) -> str:
+        """Deduplicate node names (``map``, ``map-1``, ...)."""
+        count = self._name_counts.get(base, 0)
+        self._name_counts[base] = count + 1
+        return base if count == 0 else f"{base}-{count}"
+
+    def from_workload(
+        self,
+        workload: Workload,
+        name: str = "source",
+        watermarks: WatermarkStrategy | None = None,
+        parallelism: int = 1,
+        heartbeat_interval: float | None = None,
+    ) -> "DataStream":
+        """Add a source node driven by ``workload`` with optional watermarks."""
+        node = self.graph.add_node(
+            self.unique_name(name),
+            operator_factory=Operator,
+            parallelism=parallelism,
+            is_source=True,
+            options={
+                "workload": workload,
+                "watermarks": watermarks,
+                "heartbeat_interval": heartbeat_interval,
+            },
+        )
+        return DataStream(self, node)
+
+    def from_collection(
+        self,
+        values: Iterable[Any],
+        name: str = "collection",
+        rate: float = 10000.0,
+        timestamps: Any = None,
+        watermarks: WatermarkStrategy | None = None,
+    ) -> "DataStream":
+        """Add a finite source over ``values`` with optional timestamps."""
+        workload = CollectionWorkload(values, rate=rate, timestamps=timestamps)
+        return self.from_workload(workload, name=name, watermarks=watermarks)
+
+    # ------------------------------------------------------------------
+    def execute(self, until: float | None = None, max_events: int | None = None) -> JobResult:
+        """Build the engine if needed and run until quiescence or ``until``."""
+        if self.engine is None:
+            self.engine = Engine(self.graph, self.config)
+        return self.engine.run(until=until, max_events=max_events)
+
+    def build(self) -> Engine:
+        """Construct (but don't run) the engine — control-plane experiments
+        need the handle before time starts."""
+        if self.engine is None:
+            self.engine = Engine(self.graph, self.config)
+        return self.engine
+
+
+class DataStream:
+    """A logical stream: the output of ``node`` inside ``env``."""
+
+    def __init__(
+        self,
+        env: StreamExecutionEnvironment,
+        node: LogicalNode,
+        partitioning: Partitioning | None = None,
+    ) -> None:
+        self.env = env
+        self.node = node
+        #: partitioning to apply on the NEXT edge (set by key_by / rebalance)
+        self._next_partitioning = partitioning
+
+    # ------------------------------------------------------------------
+    def _connect(
+        self,
+        name: str,
+        operator_factory: Callable[[], Operator],
+        parallelism: int | None = None,
+        processing_cost: float | None = None,
+        state_backend_factory: Callable[[], Any] | None = None,
+        channel: ChannelSpec | None = None,
+        partitioning: Partitioning | None = None,
+        options: dict[str, Any] | None = None,
+    ) -> "DataStream":
+        parallelism = parallelism if parallelism is not None else self.node.parallelism
+        part = partitioning or self._next_partitioning
+        if part is None:
+            part = (
+                Partitioning.FORWARD
+                if parallelism == self.node.parallelism
+                else Partitioning.REBALANCE
+            )
+        new_node = self.env.graph.add_node(
+            self.env.unique_name(name),
+            operator_factory=operator_factory,
+            parallelism=parallelism,
+            processing_cost=processing_cost,
+            state_backend_factory=state_backend_factory,
+            options=options,
+        )
+        self.env.graph.add_edge(self.node, new_node, partitioning=part, channel=channel)
+        return DataStream(self.env, new_node)
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[[Any], Any], name: str = "map", **kwargs: Any) -> "DataStream":
+        """Transform each value with ``fn``."""
+        return self._connect(name, lambda: MapOperator(fn, name), **kwargs)
+
+    def filter(self, predicate: Callable[[Any], bool], name: str = "filter", **kwargs: Any) -> "DataStream":
+        """Keep values satisfying ``predicate``."""
+        return self._connect(name, lambda: FilterOperator(predicate, name), **kwargs)
+
+    def flat_map(self, fn: Callable[[Any], Iterable[Any]], name: str = "flat_map", **kwargs: Any) -> "DataStream":
+        """Expand each value into zero or more values."""
+        return self._connect(name, lambda: FlatMapOperator(fn, name), **kwargs)
+
+    def process(
+        self,
+        fn: Callable[..., None],
+        on_timer: Callable[..., None] | None = None,
+        name: str = "process",
+        **kwargs: Any,
+    ) -> "DataStream":
+        """Attach a low-level (record, ctx) handler with state/timer access."""
+        return self._connect(name, lambda: ProcessOperator(fn, on_timer, name), **kwargs)
+
+    def apply_operator(self, operator_factory: Callable[[], Operator], name: str = "op", **kwargs: Any) -> "DataStream":
+        """Attach a custom operator (window, CEP, OOO buffer, ...)."""
+        return self._connect(name, operator_factory, **kwargs)
+
+    def key_by(self, selector: KeySelector, name: str = "key_by", parallelism: int | None = None) -> "KeyedStream":
+        """Partition the stream by ``selector``; downstream edges use HASH routing."""
+        stream = self._connect(
+            name,
+            lambda: KeyByOperator(selector, name),
+            parallelism=parallelism if parallelism is not None else self.node.parallelism,
+            processing_cost=0.0,
+        )
+        return KeyedStream(stream.env, stream.node)
+
+    def rebalance(self) -> "DataStream":
+        """Route the next edge round-robin across subtasks."""
+        return DataStream(self.env, self.node, partitioning=Partitioning.REBALANCE)
+
+    def broadcast(self) -> "DataStream":
+        """Route the next edge to every downstream subtask."""
+        return DataStream(self.env, self.node, partitioning=Partitioning.BROADCAST)
+
+    def union(self, *others: "DataStream", name: str = "union", parallelism: int | None = None) -> "DataStream":
+        """Merge this stream with ``others`` into one stream."""
+        parallelism = parallelism if parallelism is not None else self.node.parallelism
+        node = self.env.graph.add_node(
+            self.env.unique_name(name), UnionOperator, parallelism=parallelism, processing_cost=0.0
+        )
+        for stream in (self, *others):
+            part = (
+                Partitioning.FORWARD
+                if stream.node.parallelism == parallelism
+                else Partitioning.REBALANCE
+            )
+            self.env.graph.add_edge(stream.node, node, partitioning=part)
+        return DataStream(self.env, node)
+
+    def sink(self, sink: Sink | None = None, name: str = "sink", **kwargs: Any) -> Sink:
+        """Terminate the stream into ``sink`` (a CollectSink by default); returns the sink."""
+        if sink is None:
+            sink = CollectSink(self.env.unique_name(name))
+        self._connect(getattr(sink, "name", name), lambda: SinkOperator(sink, name), **kwargs)
+        return sink
+
+    def collect(self, name: str = "collect") -> CollectSink:
+        """Shortcut: attach and return a CollectSink."""
+        sink = CollectSink(self.env.unique_name(name))
+        self.sink(sink)
+        return sink
+
+
+class KeyedStream(DataStream):
+    """A stream partitioned by key; next edge uses HASH partitioning."""
+
+    def __init__(self, env: StreamExecutionEnvironment, node: LogicalNode) -> None:
+        super().__init__(env, node, partitioning=Partitioning.HASH)
+
+    def _connect(self, *args: Any, **kwargs: Any) -> DataStream:
+        kwargs.setdefault("partitioning", Partitioning.HASH)
+        return super()._connect(*args, **kwargs)
+
+    def reduce(self, fn: Callable[[Any, Any], Any], name: str = "reduce", **kwargs: Any) -> DataStream:
+        """Keyed rolling reduce: emits the running aggregate per key."""
+        return self._connect(name, lambda: ReduceOperator(fn, name), **kwargs)
+
+    def aggregate(
+        self,
+        create: Callable[[], Any],
+        add: Callable[[Any, Any], Any],
+        result: Callable[[Any], Any] = lambda acc: acc,
+        name: str = "aggregate",
+        **kwargs: Any,
+    ) -> DataStream:
+        """Keyed incremental aggregate with (create, add, result) and optional session ``merge``."""
+        return self._connect(name, lambda: AggregatingOperator(create, add, result, name), **kwargs)
+
+    def window(self, assigner: Any, trigger: Any = None, evictor: Any = None, allowed_lateness: float = 0.0) -> "WindowedStream":
+        """Assign elements to windows; returns a :class:`WindowedStream`."""
+        from repro.windows.stream import WindowedStream  # local import: layer cycle
+
+        return WindowedStream(self, assigner, trigger, evictor, allowed_lateness)
+
+    def pattern(self, pattern: Any, name: str = "cep", **kwargs: Any) -> DataStream:
+        """Apply a CEP pattern (survey CEP era) on this keyed stream."""
+        from repro.cep.operator import CEPOperator  # local import: layer cycle
+
+        return self._connect(name, lambda: CEPOperator(pattern, name=name), **kwargs)
+
+
+def connect_streams(
+    left: DataStream,
+    right: DataStream,
+    name: str = "connect",
+    parallelism: int = 1,
+) -> DataStream:
+    """Tag-and-union two streams: values become ("left"|"right", value).
+
+    Two-input operators (joins, co-processing, control streams) consume the
+    tagged union; this mirrors how multi-input operators are built on
+    single-input runtimes.
+    """
+    tagged_left = left.map(lambda v: ("left", v), name=f"{name}-tag-l")
+    tagged_right = right.map(lambda v: ("right", v), name=f"{name}-tag-r")
+    return tagged_left.union(tagged_right, name=name, parallelism=parallelism)

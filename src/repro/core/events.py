@@ -1,0 +1,162 @@
+"""The stream data model: records and in-band control elements.
+
+A stream is a sequence of :class:`StreamElement`. Data travels as
+:class:`Record`; everything else is control flow travelling *in-band* with
+the data, exactly as in the systems the survey covers:
+
+* :class:`Watermark` — event-time progress (Dataflow model [Akidau et al.]),
+* :class:`Punctuation` — predicate-based progress (Tucker et al.),
+* :class:`Heartbeat` — source-driven progress (STREAM, Srivastava & Widom),
+* :class:`CheckpointBarrier` — snapshot alignment (Chandy-Lamport / Flink),
+* :class:`EndOfStream` — bounded-input termination.
+
+Records carry a *sign* so that speculative out-of-order processing can emit
+retractions (sign ``-1``) that cancel previously emitted results, the
+strategy surveyed in §2.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+MAX_TIMESTAMP = float("inf")
+MIN_TIMESTAMP = float("-inf")
+
+
+class StreamElement:
+    """Marker base class for everything that flows through a channel."""
+
+    __slots__ = ()
+
+    @property
+    def is_record(self) -> bool:
+        return isinstance(self, Record)
+
+
+@dataclass(frozen=True)
+class Record(StreamElement):
+    """A data element.
+
+    Attributes:
+        value: the user payload (any Python object; dicts and tuples for the
+            built-in workloads).
+        event_time: the time the event occurred at the source, in virtual
+            seconds. ``None`` for streams without event-time semantics.
+        key: the partitioning key, stamped by ``key_by``.
+        sign: ``+1`` for insertions, ``-1`` for retractions of a previously
+            emitted record (z-set semantics used by speculative processing).
+        ingest_time: virtual time at which the element entered the pipeline;
+            sinks use ``now - ingest_time`` as end-to-end latency.
+    """
+
+    value: Any
+    event_time: float | None = None
+    key: Any = None
+    sign: int = 1
+    ingest_time: float | None = None
+
+    def with_value(self, value: Any) -> "Record":
+        """Copy with a new value (time/key/sign preserved)."""
+        return replace(self, value=value)
+
+    def with_key(self, key: Any) -> "Record":
+        """Copy with a new partitioning key."""
+        return replace(self, key=key)
+
+    def with_event_time(self, event_time: float) -> "Record":
+        """Copy with a new event time."""
+        return replace(self, event_time=event_time)
+
+    def as_retraction(self) -> "Record":
+        """Return the retraction twin of this record (flips the sign)."""
+        return replace(self, sign=-self.sign)
+
+    @property
+    def is_retraction(self) -> bool:
+        return self.sign < 0
+
+
+@dataclass(frozen=True)
+class Watermark(StreamElement):
+    """Asserts that no record with ``event_time <= timestamp`` is still coming.
+
+    Watermarks from multiple input channels are merged by taking the minimum
+    (the per-task watermark is the min over all input channels), giving the
+    monotone low-watermark semantics of MillWheel/Dataflow/Flink.
+    """
+
+    timestamp: float
+
+    def __lt__(self, other: "Watermark") -> bool:
+        return self.timestamp < other.timestamp
+
+
+@dataclass(frozen=True)
+class Punctuation(StreamElement):
+    """A predicate asserting no future record satisfies it (Tucker et al.).
+
+    The general form carries an arbitrary predicate over record values; the
+    common case — "no more records for window/key ≤ bound" — is expressed
+    with ``attribute`` + ``bound`` for cheap introspection by operators.
+    """
+
+    attribute: str
+    bound: Any
+    predicate: Callable[[Any], bool] | None = field(default=None, compare=False)
+
+    def matches(self, value: Any) -> bool:
+        """True if a record value is *closed out* by this punctuation."""
+        if self.predicate is not None:
+            return bool(self.predicate(value))
+        try:
+            return value[self.attribute] <= self.bound
+        except (TypeError, KeyError, IndexError):
+            attr = getattr(value, self.attribute, None)
+            return attr is not None and attr <= self.bound
+
+
+@dataclass(frozen=True)
+class Heartbeat(StreamElement):
+    """Source-driven progress signal (STREAM-style).
+
+    ``timestamp`` promises the source will not emit records with an event
+    time at or below it. Unlike watermarks, heartbeats are per-source and
+    emitted even when no data flows, which keeps progress moving on idle
+    inputs.
+    """
+
+    source_id: str
+    timestamp: float
+
+
+@dataclass(frozen=True)
+class CheckpointBarrier(StreamElement):
+    """Aligned-snapshot barrier (Chandy-Lamport as deployed in Flink).
+
+    Tasks align barriers from all input channels, snapshot their state, then
+    forward the barrier downstream.
+    """
+
+    checkpoint_id: int
+    timestamp: float
+
+
+@dataclass(frozen=True)
+class EndOfStream(StreamElement):
+    """Terminal marker for bounded sources; flushes windows and closes tasks."""
+
+    source_id: str = ""
+
+
+@dataclass(frozen=True)
+class LatencyMarker(StreamElement):
+    """Probe element for measuring channel/operator latency without data."""
+
+    emitted_at: float
+    marker_id: int
+
+
+def record(value: Any, event_time: float | None = None, key: Any = None) -> Record:
+    """Convenience constructor used pervasively in tests and examples."""
+    return Record(value=value, event_time=event_time, key=key)

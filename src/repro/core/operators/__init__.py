@@ -1,0 +1,30 @@
+"""Dataflow operators."""
+
+from repro.core.operators.base import Operator, OperatorContext
+from repro.core.operators.basic import (
+    AggregatingOperator,
+    FilterOperator,
+    FlatMapOperator,
+    KeyByOperator,
+    MapOperator,
+    ProcessOperator,
+    ReduceOperator,
+    SinkOperator,
+    StatelessChain,
+    UnionOperator,
+)
+
+__all__ = [
+    "AggregatingOperator",
+    "FilterOperator",
+    "FlatMapOperator",
+    "KeyByOperator",
+    "MapOperator",
+    "Operator",
+    "OperatorContext",
+    "ProcessOperator",
+    "ReduceOperator",
+    "SinkOperator",
+    "StatelessChain",
+    "UnionOperator",
+]

@@ -1,0 +1,200 @@
+"""Operator abstraction shared by every dataflow transformation.
+
+An operator is a (possibly stateful) event handler driven by the runtime:
+records, watermarks, punctuations, heartbeats, barriers and timers arrive as
+calls; the operator emits downstream through its :class:`OperatorContext`.
+This is the "hard-coded dataflow" programming surface the survey attributes
+to second-generation systems (§1), on which all higher layers — windows, CQL,
+CEP, stateful functions — are built.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.core.events import (
+    CheckpointBarrier,
+    EndOfStream,
+    Heartbeat,
+    LatencyMarker,
+    Punctuation,
+    Record,
+    StreamElement,
+    Watermark,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.state.api import StateDescriptor
+
+
+class OperatorContext:
+    """Runtime services available to an operator instance.
+
+    Concrete implementation lives in :mod:`repro.runtime.task`; this base
+    defines the contract and lets unit tests stub contexts cheaply.
+    """
+
+    # --- identity -------------------------------------------------------
+    @property
+    def task_name(self) -> str:
+        raise NotImplementedError
+
+    @property
+    def subtask_index(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def parallelism(self) -> int:
+        raise NotImplementedError
+
+    # --- output ---------------------------------------------------------
+    def emit(self, element: StreamElement) -> None:
+        """Send an element to all downstream channels."""
+        raise NotImplementedError
+
+    def emit_record(
+        self,
+        value: Any,
+        event_time: float | None = None,
+        key: Any = None,
+        sign: int = 1,
+        ingest_time: float | None = None,
+    ) -> None:
+        """Convenience wrapper constructing and emitting a :class:`Record`."""
+        self.emit(
+            Record(
+                value=value,
+                event_time=event_time,
+                key=key,
+                sign=sign,
+                ingest_time=ingest_time,
+            )
+        )
+
+    def emit_to(self, tag: str, element: StreamElement) -> None:
+        """Send an element to a named side output (late data, errors)."""
+        raise NotImplementedError
+
+    # --- time -----------------------------------------------------------
+    def processing_time(self) -> float:
+        """Current virtual processing time."""
+        raise NotImplementedError
+
+    def current_watermark(self) -> float:
+        """The task's merged event-time watermark."""
+        raise NotImplementedError
+
+    def register_event_timer(self, timestamp: float, payload: Any = None) -> None:
+        """Fire :meth:`Operator.on_event_timer` once the watermark passes."""
+        raise NotImplementedError
+
+    def register_processing_timer(self, timestamp: float, payload: Any = None) -> None:
+        """Fire :meth:`Operator.on_processing_timer` at a virtual time."""
+        raise NotImplementedError
+
+    # --- state ----------------------------------------------------------
+    @property
+    def current_key(self) -> Any:
+        raise NotImplementedError
+
+    def state(self, descriptor: "StateDescriptor") -> Any:
+        """Return the keyed state handle for ``descriptor`` under the
+        current key (set by the runtime from the record being processed)."""
+        raise NotImplementedError
+
+    def operator_state(self, name: str, default: Any = None) -> Any:
+        """Read non-keyed operator-scoped state by name."""
+        raise NotImplementedError
+
+    def set_operator_state(self, name: str, value: Any) -> None:
+        """Write non-keyed operator-scoped state by name."""
+        raise NotImplementedError
+
+
+class Operator:
+    """Base class for all dataflow operators.
+
+    Lifecycle: ``open`` → any number of ``on_element``/timer calls →
+    ``flush`` (end of bounded input) → ``close``. Checkpointing calls
+    ``snapshot_state``/``restore_state`` between elements, never during one.
+    """
+
+    #: operators that only route/stamp records can declare zero cost
+    processing_cost: float | None = None
+
+    def open(self, ctx: OperatorContext) -> None:
+        """One-time initialization (state descriptors, timers)."""
+
+    def close(self, ctx: OperatorContext) -> None:
+        """Release resources; called exactly once per (re)incarnation."""
+
+    # --- element dispatch -------------------------------------------------
+    def on_element(self, element: StreamElement, ctx: OperatorContext) -> None:
+        """Dispatch an incoming element to the typed handler."""
+        if isinstance(element, Record):
+            self.process(element, ctx)
+        elif isinstance(element, Watermark):
+            self.on_watermark(element, ctx)
+        elif isinstance(element, Punctuation):
+            self.on_punctuation(element, ctx)
+        elif isinstance(element, Heartbeat):
+            self.on_heartbeat(element, ctx)
+        elif isinstance(element, CheckpointBarrier):
+            # Barriers are handled by the task (alignment + snapshot), which
+            # forwards them itself; an operator only observes them via
+            # snapshot_state(). Receiving one here means a test drove the
+            # operator directly — forward it unchanged.
+            ctx.emit(element)
+        elif isinstance(element, EndOfStream):
+            self.flush(ctx)
+            ctx.emit(element)
+        elif isinstance(element, LatencyMarker):
+            ctx.emit(element)
+        else:
+            raise TypeError(f"unknown stream element {element!r}")
+
+    def process(self, record: Record, ctx: OperatorContext) -> None:
+        """Handle one data record. Subclasses almost always override this."""
+        ctx.emit(record)
+
+    def on_watermark(self, watermark: Watermark, ctx: OperatorContext) -> None:
+        """Handle event-time progress; default forwards it downstream.
+
+        The runtime already merged per-channel watermarks (min over inputs),
+        so the operator sees a monotone sequence.
+        """
+        ctx.emit(watermark)
+
+    def on_punctuation(self, punctuation: Punctuation, ctx: OperatorContext) -> None:
+        """Handle an in-band punctuation; default forwards it."""
+        ctx.emit(punctuation)
+
+    def on_heartbeat(self, heartbeat: Heartbeat, ctx: OperatorContext) -> None:
+        """Handle a source heartbeat; default forwards it."""
+        ctx.emit(heartbeat)
+
+    def on_event_timer(self, timestamp: float, key: Any, payload: Any, ctx: OperatorContext) -> None:
+        """Fired when the watermark passes a registered event-time timer."""
+
+    def on_processing_timer(self, timestamp: float, key: Any, payload: Any, ctx: OperatorContext) -> None:
+        """Fired at a registered virtual processing time."""
+
+    def flush(self, ctx: OperatorContext) -> None:
+        """Emit any buffered results; called at end of bounded input."""
+
+    # --- checkpointing ------------------------------------------------------
+    def snapshot_state(self) -> Any:
+        """Return operator-local (non-keyed) state for a checkpoint.
+
+        Keyed state lives in the state backend and is snapshotted by the
+        task; this hook is for operator-internal buffers (e.g. the NFA's
+        partial matches, a join's buffers) that are not in keyed state.
+        """
+        return None
+
+    def restore_state(self, snapshot: Any) -> None:
+        """Restore state captured by :meth:`snapshot_state`."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__

@@ -1,0 +1,313 @@
+"""Stateless and simply-stateful transformation operators.
+
+These are the MapReduce-influenced functional primitives (survey §2.1) that
+second-generation systems exposed: map, filter, flat-map, key-by, reduce,
+and a general process function with timer/state access.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.core.events import Record, StreamElement
+from repro.core.operators.base import Operator, OperatorContext
+from repro.state.api import ValueStateDescriptor
+
+
+class MapOperator(Operator):
+    """Applies ``fn`` to each record value, preserving time and key."""
+
+    def __init__(self, fn: Callable[[Any], Any], name: str = "map") -> None:
+        self._fn = fn
+        self._name = name
+
+    def process(self, record: Record, ctx: OperatorContext) -> None:
+        ctx.emit(record.with_value(self._fn(record.value)))
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+
+class FilterOperator(Operator):
+    """Keeps records whose value satisfies ``predicate``."""
+
+    def __init__(self, predicate: Callable[[Any], bool], name: str = "filter") -> None:
+        self._predicate = predicate
+        self._name = name
+
+    def process(self, record: Record, ctx: OperatorContext) -> None:
+        if self._predicate(record.value):
+            ctx.emit(record)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+
+class FlatMapOperator(Operator):
+    """Expands each record into zero or more records."""
+
+    def __init__(self, fn: Callable[[Any], Iterable[Any]], name: str = "flat_map") -> None:
+        self._fn = fn
+        self._name = name
+
+    def process(self, record: Record, ctx: OperatorContext) -> None:
+        for out in self._fn(record.value):
+            ctx.emit(record.with_value(out))
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+
+class KeyByOperator(Operator):
+    """Stamps the partitioning key on each record.
+
+    The actual shuffling happens in the channel partitioner; this operator
+    only evaluates the key selector so downstream tasks see ``record.key``.
+    """
+
+    processing_cost = 0.0
+
+    def __init__(self, key_selector: Callable[[Any], Any], name: str = "key_by") -> None:
+        self._selector = key_selector
+        self._name = name
+
+    def process(self, record: Record, ctx: OperatorContext) -> None:
+        ctx.emit(record.with_key(self._selector(record.value)))
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+
+class ReduceOperator(Operator):
+    """Keyed rolling reduce: emits the running aggregate per key.
+
+    State is a single value per key in the task's state backend, making this
+    the smallest example of the survey's "internally managed state" (§3.1).
+    """
+
+    def __init__(self, fn: Callable[[Any, Any], Any], name: str = "reduce") -> None:
+        self._fn = fn
+        self._name = name
+        self._descriptor = ValueStateDescriptor(f"{name}-acc")
+
+    def process(self, record: Record, ctx: OperatorContext) -> None:
+        state = ctx.state(self._descriptor)
+        current = state.value()
+        if record.is_retraction:
+            # Rolling reduce cannot in general invert; retractions are
+            # forwarded for downstream consolidation instead.
+            ctx.emit(record)
+            return
+        merged = record.value if current is None else self._fn(current, record.value)
+        state.update(merged)
+        ctx.emit(record.with_value(merged))
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+
+class AggregatingOperator(Operator):
+    """Keyed incremental aggregate with explicit (create, add, result) triple.
+
+    Unlike :class:`ReduceOperator` the accumulator type may differ from the
+    input/output types (e.g. ``(sum, count)`` for a mean).
+    """
+
+    def __init__(
+        self,
+        create: Callable[[], Any],
+        add: Callable[[Any, Any], Any],
+        result: Callable[[Any], Any],
+        name: str = "aggregate",
+    ) -> None:
+        self._create = create
+        self._add = add
+        self._result = result
+        self._name = name
+        self._descriptor = ValueStateDescriptor(f"{name}-acc")
+
+    def process(self, record: Record, ctx: OperatorContext) -> None:
+        state = ctx.state(self._descriptor)
+        acc = state.value()
+        if acc is None:
+            acc = self._create()
+        acc = self._add(acc, record.value)
+        state.update(acc)
+        ctx.emit(record.with_value(self._result(acc)))
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+
+class ProcessOperator(Operator):
+    """Escape hatch: a user function receiving (record, ctx) directly."""
+
+    def __init__(
+        self,
+        fn: Callable[[Record, OperatorContext], None],
+        on_timer: Callable[[float, Any, Any, OperatorContext], None] | None = None,
+        name: str = "process",
+    ) -> None:
+        self._fn = fn
+        self._on_timer = on_timer
+        self._name = name
+
+    def process(self, record: Record, ctx: OperatorContext) -> None:
+        self._fn(record, ctx)
+
+    def on_event_timer(self, timestamp: float, key: Any, payload: Any, ctx: OperatorContext) -> None:
+        if self._on_timer is not None:
+            self._on_timer(timestamp, key, payload, ctx)
+
+    def on_processing_timer(self, timestamp: float, key: Any, payload: Any, ctx: OperatorContext) -> None:
+        # The user callback handles both timer kinds (registered via
+        # ctx.register_event_timer / ctx.register_processing_timer).
+        if self._on_timer is not None:
+            self._on_timer(timestamp, key, payload, ctx)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+
+class UnionOperator(Operator):
+    """Merges multiple inputs; the runtime already interleaves them, and
+    watermark merging (min over channels) happens in the task, so this is an
+    identity on records."""
+
+    processing_cost = 0.0
+
+    def process(self, record: Record, ctx: OperatorContext) -> None:
+        ctx.emit(record)
+
+    @property
+    def name(self) -> str:
+        return "union"
+
+
+class SinkOperator(Operator):
+    """Terminal operator delivering records to a :class:`~repro.io.sinks.Sink`."""
+
+    def __init__(self, sink: Any, name: str = "sink") -> None:
+        self._sink = sink
+        self._name = name
+
+    def open(self, ctx: OperatorContext) -> None:
+        opener = getattr(self._sink, "open", None)
+        if opener is not None:
+            opener(ctx)
+
+    def process(self, record: Record, ctx: OperatorContext) -> None:
+        self._sink.write(record, ctx)
+
+    def on_watermark(self, watermark, ctx: OperatorContext) -> None:
+        handler = getattr(self._sink, "on_watermark", None)
+        if handler is not None:
+            handler(watermark, ctx)
+        ctx.emit(watermark)
+
+    def flush(self, ctx: OperatorContext) -> None:
+        flusher = getattr(self._sink, "flush", None)
+        if flusher is not None:
+            flusher(ctx)
+
+    def on_checkpoint(self, checkpoint_id: int) -> None:
+        """Barrier reached the sink: let transactional sinks seal their
+        epoch (pre-commit). Committed on checkpoint completion."""
+        hook = getattr(self._sink, "on_checkpoint", None)
+        if hook is not None:
+            hook(checkpoint_id)
+
+    def snapshot_state(self) -> Any:
+        snap = getattr(self._sink, "snapshot", None)
+        return snap() if snap is not None else None
+
+    def restore_state(self, snapshot: Any) -> None:
+        restore = getattr(self._sink, "restore", None)
+        if restore is not None and snapshot is not None:
+            restore(snapshot)
+
+    @property
+    def sink(self) -> Any:
+        return self._sink
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+
+class StatelessChain(Operator):
+    """Fuses consecutive stateless operators into one task (operator chaining),
+    the standard optimization second-generation engines apply to avoid
+    per-element channel overhead."""
+
+    def __init__(self, operators: list[Operator], name: str = "chain") -> None:
+        if not operators:
+            raise ValueError("chain requires at least one operator")
+        self._operators = operators
+        self._name = name
+
+    def open(self, ctx: OperatorContext) -> None:
+        for op in self._operators:
+            op.open(ctx)
+
+    def process(self, record: Record, ctx: OperatorContext) -> None:
+        elements: list[StreamElement] = [record]
+        for op in self._operators:
+            collector = _CollectingContext(ctx)
+            for element in elements:
+                op.on_element(element, collector)
+            elements = collector.collected
+            if not elements:
+                return
+        for element in elements:
+            ctx.emit(element)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+
+class _CollectingContext(OperatorContext):
+    """Context that buffers emissions; used for operator chaining."""
+
+    def __init__(self, parent: OperatorContext) -> None:
+        self._parent = parent
+        self.collected: list[StreamElement] = []
+
+    def emit(self, element: StreamElement) -> None:
+        self.collected.append(element)
+
+    def emit_to(self, tag: str, element: StreamElement) -> None:
+        self._parent.emit_to(tag, element)
+
+    def processing_time(self) -> float:
+        return self._parent.processing_time()
+
+    def current_watermark(self) -> float:
+        return self._parent.current_watermark()
+
+    @property
+    def current_key(self) -> Any:
+        return self._parent.current_key
+
+    def state(self, descriptor) -> Any:
+        return self._parent.state(descriptor)
+
+    @property
+    def task_name(self) -> str:
+        return self._parent.task_name
+
+    @property
+    def subtask_index(self) -> int:
+        return self._parent.subtask_index
+
+    @property
+    def parallelism(self) -> int:
+        return self._parent.parallelism

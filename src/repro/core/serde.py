@@ -1,0 +1,83 @@
+"""Serialization for state snapshots, changelogs, and external backends.
+
+State leaving a task — checkpoints, changelog entries, remote-store writes,
+queryable-state responses — passes through a :class:`Serde` so that snapshot
+size is measurable (recovery-time experiments E4/E5/E15 depend on byte
+volumes) and so restored objects are true copies, never aliases of live
+state. The default implementation uses :mod:`pickle`; a JSON serde is
+provided for schema-evolution experiments, where readable, versioned bytes
+matter.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from typing import Any
+
+from repro.errors import SerializationError
+
+
+class Serde:
+    """Interface: value ↔ bytes."""
+
+    name = "abstract"
+
+    def serialize(self, value: Any) -> bytes:
+        """Encode ``value`` to bytes."""
+        raise NotImplementedError
+
+    def deserialize(self, data: bytes) -> Any:
+        """Decode bytes back to a value."""
+        raise NotImplementedError
+
+    def copy(self, value: Any) -> Any:
+        """Deep-copy through serialization (snapshot isolation helper)."""
+        return self.deserialize(self.serialize(value))
+
+    def size_of(self, value: Any) -> int:
+        """Serialized size in bytes, used by state-size cost models."""
+        return len(self.serialize(value))
+
+
+class PickleSerde(Serde):
+    """Default serde: compact, handles arbitrary picklable Python objects."""
+
+    name = "pickle"
+
+    def serialize(self, value: Any) -> bytes:
+        """Pickle ``value``; framework errors on unpicklable objects."""
+        try:
+            return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:  # noqa: BLE001 - normalize to framework error
+            raise SerializationError(f"cannot pickle {type(value).__name__}: {exc}") from exc
+
+    def deserialize(self, data: bytes) -> Any:
+        """Unpickle bytes; framework errors on corrupt payloads."""
+        try:
+            return pickle.loads(data)
+        except Exception as exc:  # noqa: BLE001
+            raise SerializationError(f"cannot unpickle {len(data)} bytes: {exc}") from exc
+
+
+class JsonSerde(Serde):
+    """JSON serde for versioned, human-auditable state (schema evolution)."""
+
+    name = "json"
+
+    def serialize(self, value: Any) -> bytes:
+        """Canonical (sorted-keys) JSON encoding."""
+        try:
+            return json.dumps(value, sort_keys=True, separators=(",", ":")).encode()
+        except (TypeError, ValueError) as exc:
+            raise SerializationError(f"not JSON-serializable: {exc}") from exc
+
+    def deserialize(self, data: bytes) -> Any:
+        """Decode JSON bytes."""
+        try:
+            return json.loads(data.decode())
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise SerializationError(f"invalid JSON payload: {exc}") from exc
+
+
+DEFAULT_SERDE = PickleSerde()

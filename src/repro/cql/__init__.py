@@ -1,0 +1,41 @@
+"""CQL: the continuous query language of first-generation DSMSs (§2.1)."""
+
+from repro.cql.ast import (
+    Aggregate,
+    BinaryOp,
+    Column,
+    FromItem,
+    Literal,
+    Query,
+    SelectItem,
+    StreamOp,
+    UnaryOp,
+    WindowKind,
+    WindowSpec,
+)
+from repro.cql.execution import ContinuousQuery, OutputTuple, compile_to_dataflow, explain
+from repro.cql.parser import parse_query
+from repro.cql.relations import WindowRelation, bag_diff, evaluate, instant_result
+
+__all__ = [
+    "Aggregate",
+    "BinaryOp",
+    "Column",
+    "ContinuousQuery",
+    "FromItem",
+    "Literal",
+    "OutputTuple",
+    "Query",
+    "SelectItem",
+    "StreamOp",
+    "UnaryOp",
+    "WindowKind",
+    "WindowRelation",
+    "WindowSpec",
+    "bag_diff",
+    "compile_to_dataflow",
+    "evaluate",
+    "explain",
+    "instant_result",
+    "parse_query",
+]

@@ -1,0 +1,139 @@
+"""AST for the CQL subset: the three operator classes of the CQL model.
+
+* stream-to-relation: window specs on FROM items (RANGE/SLIDE, ROWS, NOW,
+  UNBOUNDED);
+* relation-to-relation: SELECT/WHERE/GROUP BY/HAVING over the instantaneous
+  relations;
+* relation-to-stream: ISTREAM/DSTREAM/RSTREAM prefixes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+# --------------------------------------------------------------------------
+# expressions
+# --------------------------------------------------------------------------
+class Expr:
+    """Base class for CQL scalar/aggregate expressions."""
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: Any
+
+
+@dataclass(frozen=True)
+class Column(Expr):
+    name: str
+    qualifier: str | None = None  # alias/stream name
+
+    @property
+    def display(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    op: str  # = <> < <= > >= + - * / AND OR
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # NOT, -
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Aggregate(Expr):
+    fn: str  # COUNT SUM AVG MIN MAX
+    arg: Expr | None  # None for COUNT(*)
+
+
+# --------------------------------------------------------------------------
+# windows (stream-to-relation)
+# --------------------------------------------------------------------------
+class WindowKind(enum.Enum):
+    RANGE = "range"  # time-based sliding
+    ROWS = "rows"  # tuple-based sliding
+    NOW = "now"  # instants
+    UNBOUNDED = "unbounded"
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    kind: WindowKind
+    size: float | int | None = None
+    slide: float | None = None  # RANGE ... SLIDE ...
+    #: CQL partitioned windows: [PARTITION BY a, b ROWS n] keeps the last n
+    #: tuples per partition-key combination
+    partition_by: tuple[str, ...] = ()
+
+
+# --------------------------------------------------------------------------
+# query structure
+# --------------------------------------------------------------------------
+class StreamOp(enum.Enum):
+    ISTREAM = "istream"
+    DSTREAM = "dstream"
+    RSTREAM = "rstream"
+    NONE = "none"  # relation result (no relation-to-stream op)
+
+
+@dataclass(frozen=True)
+class FromItem:
+    stream: str
+    window: WindowSpec
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.stream
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: str | None = None
+
+    def output_name(self, index: int) -> str:
+        """Column name in the output tuple (alias, column, or synthesized)."""
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, Column):
+            return self.expr.name
+        if isinstance(self.expr, Aggregate):
+            arg = self.expr.arg.display if isinstance(self.expr.arg, Column) else "*"
+            return f"{self.expr.fn.lower()}_{arg}".replace(".", "_")
+        return f"col{index}"
+
+
+@dataclass(frozen=True)
+class Query:
+    stream_op: StreamOp
+    select: tuple[SelectItem, ...]  # empty = SELECT *
+    sources: tuple[FromItem, ...]
+    where: Expr | None = None
+    group_by: tuple[Column, ...] = field(default_factory=tuple)
+    having: Expr | None = None
+
+    @property
+    def is_aggregate(self) -> bool:
+        return bool(self.group_by) or any(
+            _contains_aggregate(item.expr) for item in self.select
+        )
+
+
+def _contains_aggregate(expr: Expr) -> bool:
+    if isinstance(expr, Aggregate):
+        return True
+    if isinstance(expr, BinaryOp):
+        return _contains_aggregate(expr.left) or _contains_aggregate(expr.right)
+    if isinstance(expr, UnaryOp):
+        return _contains_aggregate(expr.operand)
+    return False

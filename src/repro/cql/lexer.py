@@ -1,0 +1,98 @@
+"""Tokenizer for the CQL subset (survey §2.1: CQL and its derivatives)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CQLSyntaxError
+
+KEYWORDS = {
+    "SELECT",
+    "ISTREAM",
+    "DSTREAM",
+    "RSTREAM",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "HAVING",
+    "AS",
+    "RANGE",
+    "SLIDE",
+    "ROWS",
+    "PARTITION",
+    "NOW",
+    "UNBOUNDED",
+    "SECONDS",
+    "AND",
+    "OR",
+    "NOT",
+    "COUNT",
+    "SUM",
+    "AVG",
+    "MIN",
+    "MAX",
+    "TRUE",
+    "FALSE",
+}
+
+SYMBOLS = ["<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", "*", "+", "-", "/", "."]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # KEYWORD | IDENT | NUMBER | STRING | SYMBOL | EOF
+    text: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.text}"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split CQL text into tokens; raises :class:`CQLSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            j = text.find("'", i + 1)
+            if j < 0:
+                raise CQLSyntaxError(f"unterminated string literal at {i}")
+            tokens.append(Token("STRING", text[i + 1 : j], i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("NUMBER", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("KEYWORD", word.upper(), i))
+            else:
+                tokens.append(Token("IDENT", word, i))
+            i = j
+            continue
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, i):
+                tokens.append(Token("SYMBOL", symbol, i))
+                i += len(symbol)
+                break
+        else:
+            raise CQLSyntaxError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token("EOF", "", n))
+    return tokens

@@ -1,0 +1,261 @@
+"""Recursive-descent parser for the CQL subset.
+
+Grammar (informal)::
+
+    query      := SELECT [ISTREAM|DSTREAM|RSTREAM] select_list
+                  FROM from_item (',' from_item)*
+                  [WHERE expr] [GROUP BY column (',' column)*] [HAVING expr]
+    select_list:= '*' | select_item (',' select_item)*
+    select_item:= expr [AS ident]
+    from_item  := ident ['[' window ']'] [AS ident]
+    window     := RANGE number [SECONDS] [SLIDE number [SECONDS]]
+                | ROWS number | NOW | UNBOUNDED
+    expr       := or_expr with usual precedence; aggregates COUNT/SUM/AVG/MIN/MAX
+"""
+
+from __future__ import annotations
+
+from repro.cql.ast import (
+    Aggregate,
+    BinaryOp,
+    Column,
+    Expr,
+    FromItem,
+    Literal,
+    Query,
+    SelectItem,
+    StreamOp,
+    UnaryOp,
+    WindowKind,
+    WindowSpec,
+)
+from repro.cql.lexer import Token, tokenize
+from repro.errors import CQLSyntaxError
+
+AGG_FNS = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+class Parser:
+    """Recursive-descent parser over the token stream of one query."""
+
+    def __init__(self, text: str) -> None:
+        self._tokens = tokenize(text)
+        self._pos = 0
+
+    # --- token helpers ----------------------------------------------------
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        token = self._peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text or kind
+            raise CQLSyntaxError(f"expected {want}, got {token.text!r} at {token.position}")
+        return self._advance()
+
+    def _accept(self, kind: str, text: str | None = None) -> Token | None:
+        token = self._peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self._advance()
+        return None
+
+    # --- entry -------------------------------------------------------------
+    def parse(self) -> Query:
+        """Parse the full query; raises :class:`CQLSyntaxError` on leftovers."""
+        self._expect("KEYWORD", "SELECT")
+        stream_op = StreamOp.NONE
+        for op in (StreamOp.ISTREAM, StreamOp.DSTREAM, StreamOp.RSTREAM):
+            if self._accept("KEYWORD", op.name):
+                stream_op = op
+                break
+        select = self._select_list()
+        self._expect("KEYWORD", "FROM")
+        sources = [self._from_item()]
+        while self._accept("SYMBOL", ","):
+            sources.append(self._from_item())
+        where = None
+        if self._accept("KEYWORD", "WHERE"):
+            where = self._expr()
+        group_by: list[Column] = []
+        if self._accept("KEYWORD", "GROUP"):
+            self._expect("KEYWORD", "BY")
+            group_by.append(self._column())
+            while self._accept("SYMBOL", ","):
+                group_by.append(self._column())
+        having = None
+        if self._accept("KEYWORD", "HAVING"):
+            having = self._expr()
+        self._expect("EOF")
+        return Query(
+            stream_op=stream_op,
+            select=tuple(select),
+            sources=tuple(sources),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+        )
+
+    # --- clauses -------------------------------------------------------------
+    def _select_list(self) -> list[SelectItem]:
+        if self._accept("SYMBOL", "*"):
+            return []
+        items = [self._select_item()]
+        while self._accept("SYMBOL", ","):
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> SelectItem:
+        expr = self._expr()
+        alias = None
+        if self._accept("KEYWORD", "AS"):
+            alias = self._expect("IDENT").text
+        return SelectItem(expr, alias)
+
+    def _from_item(self) -> FromItem:
+        stream = self._expect("IDENT").text
+        window = WindowSpec(WindowKind.UNBOUNDED)
+        if self._accept("SYMBOL", "("):  # tolerate paren windows too
+            window = self._window()
+            self._expect("SYMBOL", ")")
+        elif self._peek().kind == "KEYWORD" and self._peek().text in (
+            "RANGE",
+            "ROWS",
+            "NOW",
+            "UNBOUNDED",
+            "PARTITION",
+        ):
+            window = self._window()
+        alias = None
+        if self._accept("KEYWORD", "AS"):
+            alias = self._expect("IDENT").text
+        return FromItem(stream=stream, window=window, alias=alias)
+
+    def _window(self) -> WindowSpec:
+        if self._accept("KEYWORD", "PARTITION"):
+            self._expect("KEYWORD", "BY")
+            columns = [self._expect("IDENT").text]
+            while self._accept("SYMBOL", ","):
+                columns.append(self._expect("IDENT").text)
+            self._expect("KEYWORD", "ROWS")
+            size = int(self._expect("NUMBER").text)
+            return WindowSpec(WindowKind.ROWS, size=size, partition_by=tuple(columns))
+        if self._accept("KEYWORD", "RANGE"):
+            size = float(self._expect("NUMBER").text)
+            self._accept("KEYWORD", "SECONDS")
+            slide = None
+            if self._accept("KEYWORD", "SLIDE"):
+                slide = float(self._expect("NUMBER").text)
+                self._accept("KEYWORD", "SECONDS")
+            return WindowSpec(WindowKind.RANGE, size=size, slide=slide)
+        if self._accept("KEYWORD", "ROWS"):
+            size = int(self._expect("NUMBER").text)
+            return WindowSpec(WindowKind.ROWS, size=size)
+        if self._accept("KEYWORD", "NOW"):
+            return WindowSpec(WindowKind.NOW)
+        if self._accept("KEYWORD", "UNBOUNDED"):
+            return WindowSpec(WindowKind.UNBOUNDED)
+        token = self._peek()
+        raise CQLSyntaxError(f"expected window spec, got {token.text!r} at {token.position}")
+
+    def _column(self) -> Column:
+        first = self._expect("IDENT").text
+        if self._accept("SYMBOL", "."):
+            second = self._expect("IDENT").text
+            return Column(second, qualifier=first)
+        return Column(first)
+
+    # --- expressions, precedence: OR < AND < NOT < cmp < add < mul < unary --
+    def _expr(self) -> Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expr:
+        left = self._and_expr()
+        while self._accept("KEYWORD", "OR"):
+            left = BinaryOp("OR", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Expr:
+        left = self._not_expr()
+        while self._accept("KEYWORD", "AND"):
+            left = BinaryOp("AND", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> Expr:
+        if self._accept("KEYWORD", "NOT"):
+            return UnaryOp("NOT", self._not_expr())
+        return self._cmp_expr()
+
+    def _cmp_expr(self) -> Expr:
+        left = self._add_expr()
+        token = self._peek()
+        if token.kind == "SYMBOL" and token.text in ("=", "<>", "!=", "<", "<=", ">", ">="):
+            self._advance()
+            op = "<>" if token.text == "!=" else token.text
+            return BinaryOp(op, left, self._add_expr())
+        return left
+
+    def _add_expr(self) -> Expr:
+        left = self._mul_expr()
+        while True:
+            token = self._peek()
+            if token.kind == "SYMBOL" and token.text in ("+", "-"):
+                self._advance()
+                left = BinaryOp(token.text, left, self._mul_expr())
+            else:
+                return left
+
+    def _mul_expr(self) -> Expr:
+        left = self._unary_expr()
+        while True:
+            token = self._peek()
+            if token.kind == "SYMBOL" and token.text in ("*", "/"):
+                self._advance()
+                left = BinaryOp(token.text, left, self._unary_expr())
+            else:
+                return left
+
+    def _unary_expr(self) -> Expr:
+        if self._accept("SYMBOL", "-"):
+            return UnaryOp("-", self._unary_expr())
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        token = self._peek()
+        if token.kind == "NUMBER":
+            self._advance()
+            value = float(token.text) if "." in token.text else int(token.text)
+            return Literal(value)
+        if token.kind == "STRING":
+            self._advance()
+            return Literal(token.text)
+        if token.kind == "KEYWORD" and token.text in ("TRUE", "FALSE"):
+            self._advance()
+            return Literal(token.text == "TRUE")
+        if token.kind == "KEYWORD" and token.text in AGG_FNS:
+            self._advance()
+            self._expect("SYMBOL", "(")
+            if self._accept("SYMBOL", "*"):
+                arg = None
+                if token.text != "COUNT":
+                    raise CQLSyntaxError(f"{token.text}(*) is not valid")
+            else:
+                arg = self._expr()
+            self._expect("SYMBOL", ")")
+            return Aggregate(token.text, arg)
+        if token.kind == "IDENT":
+            return self._column()
+        if self._accept("SYMBOL", "("):
+            inner = self._expr()
+            self._expect("SYMBOL", ")")
+            return inner
+        raise CQLSyntaxError(f"unexpected token {token.text!r} at {token.position}")
+
+
+def parse_query(text: str) -> Query:
+    """Parse CQL text into a :class:`~repro.cql.ast.Query`."""
+    return Parser(text).parse()

@@ -1,0 +1,252 @@
+"""Time-varying relations and relational evaluation (CQL semantics).
+
+A CQL query is evaluated instant by instant: at each timestamp τ every
+FROM item's window operator yields an *instantaneous relation* (a bag of
+tuples), the relational algebra runs over their cross product, and the
+relation-to-stream operator diffs consecutive instants.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+from repro.cql.ast import (
+    Aggregate,
+    BinaryOp,
+    Column,
+    Expr,
+    Literal,
+    Query,
+    SelectItem,
+    UnaryOp,
+    WindowKind,
+    WindowSpec,
+)
+from repro.errors import CQLSemanticError
+
+Tuple_ = dict  # a CQL tuple is a flat dict
+Row = dict  # binding name -> Tuple_
+
+
+class WindowRelation:
+    """Stream-to-relation operator: maintains the instantaneous relation of
+    one windowed FROM item as time advances."""
+
+    def __init__(self, spec: WindowSpec) -> None:
+        self.spec = spec
+        self._entries: list[tuple[float, Tuple_]] = []  # (arrival ts, tuple)
+
+    def _partition_key(self, value: Tuple_) -> tuple:
+        """Extract the PARTITION BY key; loud error when a column is missing."""
+        try:
+            return tuple(value[column] for column in self.spec.partition_by)
+        except KeyError as exc:
+            raise CQLSemanticError(
+                f"PARTITION BY column {exc} missing from tuple {value!r}"
+            ) from exc
+
+    def insert(self, timestamp: float, value: Tuple_) -> None:
+        """Admit a tuple arriving at ``timestamp`` into the window."""
+        self._entries.append((timestamp, value))
+        if self.spec.kind is not WindowKind.ROWS:
+            return
+        size = int(self.spec.size)
+        if not self.spec.partition_by:
+            if len(self._entries) > size:
+                self._entries = self._entries[-size:]
+            return
+        # Partitioned ROWS window: keep the last `size` tuples per
+        # partition-key combination (CQL's [PARTITION BY ... ROWS n]).
+        key = self._partition_key(value)
+        count = 0
+        kept_reversed: list[tuple[float, Tuple_]] = []
+        for entry in reversed(self._entries):
+            if self._partition_key(entry[1]) == key:
+                if count >= size:
+                    continue
+                count += 1
+            kept_reversed.append(entry)
+        self._entries = list(reversed(kept_reversed))
+
+    def contents_at(self, timestamp: float) -> list[Tuple_]:
+        """The instantaneous relation at time ``timestamp``."""
+        kind = self.spec.kind
+        if kind is WindowKind.UNBOUNDED:
+            return [v for _t, v in self._entries]
+        if kind is WindowKind.ROWS:
+            return [v for _t, v in self._entries]
+        if kind is WindowKind.NOW:
+            return [v for t, v in self._entries if t == timestamp]
+        if kind is WindowKind.RANGE:
+            low = timestamp - float(self.spec.size)
+            # RANGE windows are (t - w, t]: evict strictly-older entries.
+            self._entries = [(t, v) for t, v in self._entries if t > low]
+            return [v for t, v in self._entries if t <= timestamp]
+        raise CQLSemanticError(f"unknown window kind {kind}")
+
+
+# --------------------------------------------------------------------------
+# expression evaluation
+# --------------------------------------------------------------------------
+def lookup(row: Row, column: Column) -> Any:
+    """Resolve a column reference against a row's bindings."""
+    if column.qualifier is not None:
+        binding = row.get(column.qualifier)
+        if binding is None:
+            raise CQLSemanticError(f"unknown binding {column.qualifier!r}")
+        if column.name not in binding:
+            raise CQLSemanticError(f"unknown column {column.display!r}")
+        return binding[column.name]
+    matches = [b for b in row.values() if column.name in b]
+    if not matches:
+        raise CQLSemanticError(f"unknown column {column.name!r}")
+    if len(matches) > 1:
+        raise CQLSemanticError(f"ambiguous column {column.name!r}; qualify it")
+    return matches[0][column.name]
+
+
+def evaluate(expr: Expr, row: Row) -> Any:
+    """Evaluate a scalar expression against one row."""
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, Column):
+        return lookup(row, expr)
+    if isinstance(expr, UnaryOp):
+        value = evaluate(expr.operand, row)
+        if expr.op == "NOT":
+            return not value
+        if expr.op == "-":
+            return -value
+        raise CQLSemanticError(f"unknown unary op {expr.op}")
+    if isinstance(expr, BinaryOp):
+        if expr.op == "AND":
+            return bool(evaluate(expr.left, row)) and bool(evaluate(expr.right, row))
+        if expr.op == "OR":
+            return bool(evaluate(expr.left, row)) or bool(evaluate(expr.right, row))
+        left = evaluate(expr.left, row)
+        right = evaluate(expr.right, row)
+        ops = {
+            "=": lambda a, b: a == b,
+            "<>": lambda a, b: a != b,
+            "<": lambda a, b: a < b,
+            "<=": lambda a, b: a <= b,
+            ">": lambda a, b: a > b,
+            ">=": lambda a, b: a >= b,
+            "+": lambda a, b: a + b,
+            "-": lambda a, b: a - b,
+            "*": lambda a, b: a * b,
+            "/": lambda a, b: a / b,
+        }
+        fn = ops.get(expr.op)
+        if fn is None:
+            raise CQLSemanticError(f"unknown operator {expr.op}")
+        return fn(left, right)
+    if isinstance(expr, Aggregate):
+        raise CQLSemanticError("aggregate evaluated outside GROUP BY context")
+    raise CQLSemanticError(f"unknown expression {expr!r}")
+
+
+def evaluate_aggregate(agg: Aggregate, rows: list[Row]) -> Any:
+    """Evaluate an aggregate over a group of rows."""
+    if agg.fn == "COUNT" and agg.arg is None:
+        return len(rows)
+    values = [evaluate(agg.arg, row) for row in rows] if agg.arg is not None else []
+    if agg.fn == "COUNT":
+        return sum(1 for v in values if v is not None)
+    if not values:
+        return None
+    if agg.fn == "SUM":
+        return sum(values)
+    if agg.fn == "AVG":
+        return sum(values) / len(values)
+    if agg.fn == "MIN":
+        return min(values)
+    if agg.fn == "MAX":
+        return max(values)
+    raise CQLSemanticError(f"unknown aggregate {agg.fn}")
+
+
+def _eval_select_with_aggregates(expr: Expr, rows: list[Row], sample: Row) -> Any:
+    """Evaluate a select expression that may mix aggregates and group
+    columns; group columns are read from ``sample`` (all rows agree)."""
+    if isinstance(expr, Aggregate):
+        return evaluate_aggregate(expr, rows)
+    if isinstance(expr, BinaryOp):
+        left = _eval_select_with_aggregates(expr.left, rows, sample)
+        right = _eval_select_with_aggregates(expr.right, rows, sample)
+        return evaluate(BinaryOp(expr.op, Literal(left), Literal(right)), sample)
+    if isinstance(expr, UnaryOp):
+        inner = _eval_select_with_aggregates(expr.operand, rows, sample)
+        return evaluate(UnaryOp(expr.op, Literal(inner)), sample)
+    return evaluate(expr, sample)
+
+
+# --------------------------------------------------------------------------
+# instantaneous query evaluation
+# --------------------------------------------------------------------------
+def instant_result(query: Query, relations: dict[str, list[Tuple_]]) -> list[Tuple_]:
+    """Evaluate the relation-to-relation part over one instant."""
+    rows: list[Row] = [{}]
+    for item in query.sources:
+        contents = relations[item.binding]
+        rows = [dict(row, **{item.binding: t}) for row in rows for t in contents]
+    if query.where is not None:
+        rows = [row for row in rows if evaluate(query.where, row)]
+
+    if not query.is_aggregate:
+        return [_project(query.select, row) for row in rows]
+
+    # Group.
+    groups: dict[tuple, list[Row]] = {}
+    for row in rows:
+        key = tuple(lookup(row, col) for col in query.group_by)
+        groups.setdefault(key, []).append(row)
+    out: list[Tuple_] = []
+    for key, grouped in sorted(groups.items(), key=lambda kv: repr(kv[0])):
+        sample = grouped[0]
+        if query.having is not None:
+            ok = _eval_select_with_aggregates(query.having, grouped, sample)
+            if not ok:
+                continue
+        result: Tuple_ = {}
+        if not query.select:
+            for col, value in zip(query.group_by, key):
+                result[col.name] = value
+        for index, item in enumerate(query.select):
+            result[item.output_name(index)] = _eval_select_with_aggregates(
+                item.expr, grouped, sample
+            )
+        out.append(result)
+    return out
+
+
+def _project(select: tuple[SelectItem, ...], row: Row) -> Tuple_:
+    if not select:  # SELECT *
+        merged: Tuple_ = {}
+        for binding, value in row.items():
+            for field_name, field_value in value.items():
+                key = field_name if field_name not in merged else f"{binding}_{field_name}"
+                merged[key] = field_value
+        return merged
+    out: Tuple_ = {}
+    for index, item in enumerate(select):
+        out[item.output_name(index)] = evaluate(item.expr, row)
+    return out
+
+
+def bag_diff(new: list[Tuple_], old: list[Tuple_]) -> list[Tuple_]:
+    """Multiset difference new − old (the ISTREAM/DSTREAM primitive)."""
+
+    def freeze(t: Tuple_) -> tuple:
+        return tuple(sorted(t.items()))
+
+    old_counts = Counter(freeze(t) for t in old)
+    out: list[Tuple_] = []
+    for t in new:
+        key = freeze(t)
+        if old_counts[key] > 0:
+            old_counts[key] -= 1
+        else:
+            out.append(t)
+    return out

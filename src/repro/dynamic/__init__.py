@@ -1,0 +1,5 @@
+"""Dynamic topologies (survey §4.2)."""
+
+from repro.dynamic.topology import AdaptiveExpander, TopologyManager, collect_task_pressure
+
+__all__ = ["AdaptiveExpander", "TopologyManager", "collect_task_pressure"]

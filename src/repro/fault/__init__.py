@@ -1,0 +1,19 @@
+"""Fault tolerance & high availability (survey §3.2)."""
+
+from repro.fault.guarantees import GuaranteeAudit, audit_delivery, config_for_guarantee
+from repro.fault.injection import FailureEvent, FailureInjector
+from repro.fault.standby import ActiveStandby, FailoverReport, PassiveStandby
+from repro.fault.upstream import UpstreamBackup, UpstreamRecoveryReport
+
+__all__ = [
+    "ActiveStandby",
+    "FailoverReport",
+    "FailureEvent",
+    "FailureInjector",
+    "GuaranteeAudit",
+    "PassiveStandby",
+    "UpstreamBackup",
+    "UpstreamRecoveryReport",
+    "audit_delivery",
+    "config_for_guarantee",
+]

@@ -1,0 +1,80 @@
+"""Processing-guarantee auditing (survey §3.1/§3.2).
+
+Configuring a guarantee is the runtime's job (checkpoint mode + sink type +
+recovery policy); *verifying* one is this module's: given what a workload
+should produce and what a sink saw, classify the run as at-most-once
+(losses, no duplicates), at-least-once (duplicates, no losses), or
+exactly-once (neither).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.runtime.config import CheckpointConfig, CheckpointMode, EngineConfig, GuaranteeLevel
+
+
+@dataclass
+class GuaranteeAudit:
+    expected: int
+    observed: int
+    duplicates: int
+    losses: int
+
+    @property
+    def achieved(self) -> GuaranteeLevel:
+        if self.duplicates == 0 and self.losses == 0:
+            return GuaranteeLevel.EXACTLY_ONCE
+        if self.losses == 0:
+            return GuaranteeLevel.AT_LEAST_ONCE
+        return GuaranteeLevel.AT_MOST_ONCE
+
+    @property
+    def is_exactly_once(self) -> bool:
+        return self.achieved is GuaranteeLevel.EXACTLY_ONCE
+
+
+def audit_delivery(
+    expected: Iterable[Any],
+    observed: Iterable[Any],
+    identity: Callable[[Any], Any] = lambda v: repr(v),
+) -> GuaranteeAudit:
+    """Compare multisets of expected vs observed results by identity."""
+    expected_counts = Counter(identity(v) for v in expected)
+    observed_counts = Counter(identity(v) for v in observed)
+    duplicates = sum(
+        max(0, observed_counts[k] - expected_counts.get(k, 0)) for k in observed_counts
+    )
+    losses = sum(
+        max(0, expected_counts[k] - observed_counts.get(k, 0)) for k in expected_counts
+    )
+    return GuaranteeAudit(
+        expected=sum(expected_counts.values()),
+        observed=sum(observed_counts.values()),
+        duplicates=duplicates,
+        losses=losses,
+    )
+
+
+def config_for_guarantee(
+    level: GuaranteeLevel,
+    checkpoint_interval: float = 0.5,
+    seed: int = 0,
+    **overrides: Any,
+) -> EngineConfig:
+    """Engine configuration that targets a guarantee level.
+
+    * at-most-once: no checkpoints — recovery restarts empty, no replay;
+    * at-least-once: unaligned checkpoints — replay duplicates in-flight work;
+    * exactly-once: aligned checkpoints — pair with a
+      :class:`~repro.io.sinks.TransactionalSink` for end-to-end semantics.
+    """
+    if level is GuaranteeLevel.AT_MOST_ONCE:
+        checkpoints = None
+    elif level is GuaranteeLevel.AT_LEAST_ONCE:
+        checkpoints = CheckpointConfig(interval=checkpoint_interval, mode=CheckpointMode.UNALIGNED)
+    else:
+        checkpoints = CheckpointConfig(interval=checkpoint_interval, mode=CheckpointMode.ALIGNED)
+    return EngineConfig(seed=seed, checkpoints=checkpoints, guarantee=level, **overrides)

@@ -1,0 +1,58 @@
+"""Failure injection: fail-stop task kills on a schedule.
+
+The survey's fault-tolerance discussion (§3.2) assumes the fail-stop model;
+the injector schedules kills on the engine's virtual clock so recovery
+experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.runtime.engine import Engine
+
+
+@dataclass
+class FailureEvent:
+    task_name: str
+    at: float
+    detected_at: float | None = None
+
+
+class FailureInjector:
+    """Schedules fail-stop kills and records detection timestamps."""
+
+    def __init__(self, engine: Engine, detection_delay: float = 0.01) -> None:
+        self.engine = engine
+        self.detection_delay = detection_delay
+        self.events: list[FailureEvent] = []
+        self._detection_callbacks: list = []
+
+    def on_detection(self, callback) -> None:
+        """Register ``callback(event)`` invoked ``detection_delay`` after
+        each injected failure (the recovery manager's trigger)."""
+        self._detection_callbacks.append(callback)
+
+    def schedule_kill(self, task_name: str, at: float) -> FailureEvent:
+        """Fail-stop ``task_name`` at virtual time ``at``; detection fires after the delay."""
+        event = FailureEvent(task_name=task_name, at=at)
+        self.events.append(event)
+
+        def kill() -> None:
+            self.engine.kill_task(task_name)
+
+            def detect() -> None:
+                event.detected_at = self.engine.kernel.now()
+                for callback in self._detection_callbacks:
+                    callback(event)
+
+            self.engine.kernel.call_after(self.detection_delay, detect)
+
+        self.engine.kernel.call_at(at, kill)
+        return event
+
+    def schedule_node_failure(self, node_name: str, at: float) -> list[FailureEvent]:
+        """Kill every subtask of a logical node (a machine hosting them)."""
+        return [
+            self.schedule_kill(task.name, at) for task in self.engine.tasks_of(node_name)
+        ]

@@ -1,0 +1,29 @@
+"""Stateful functions / virtual actors on streaming infrastructure (§4.1)."""
+
+from repro.functions.bridge import (
+    FunctionDispatchOperator,
+    FunctionIngressOperator,
+    feedback_function_pipeline,
+    merged_egress,
+)
+from repro.functions.runtime import (
+    Address,
+    FunctionContext,
+    FunctionStorage,
+    Message,
+    ReplyFuture,
+    StatefulFunctionRuntime,
+)
+
+__all__ = [
+    "Address",
+    "FunctionContext",
+    "FunctionDispatchOperator",
+    "FunctionIngressOperator",
+    "FunctionStorage",
+    "Message",
+    "ReplyFuture",
+    "StatefulFunctionRuntime",
+    "feedback_function_pipeline",
+    "merged_egress",
+]

@@ -1,0 +1,168 @@
+"""Bridges between the dataflow engine and the function runtime.
+
+The survey's two convergence directions, both implemented:
+
+* *streams on actors*: :class:`FunctionIngressOperator` turns dataflow
+  records into function messages (the stream processor is the ingress of a
+  Cloud app);
+* *actors on streams*: :func:`feedback_function_pipeline` hosts a
+  function-dispatch operator inside a dataflow with a feedback edge
+  carrying function-to-function sends — the StateFun-on-Flink architecture.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.events import Record
+from repro.core.operators.base import Operator, OperatorContext
+from repro.functions.runtime import Address, StatefulFunctionRuntime
+
+
+class FunctionIngressOperator(Operator):
+    """Routes each record into the function runtime.
+
+    ``route(value) -> (Address, payload)``; the runtime shares the engine's
+    kernel, so function execution interleaves with the dataflow in virtual
+    time. Each forwarded record also flows downstream unchanged, letting
+    pipelines tee analytics off the same stream that drives the app.
+    """
+
+    def __init__(
+        self,
+        runtime: "StatefulFunctionRuntime | Callable[[], StatefulFunctionRuntime]",
+        route: Callable[[Any], tuple[Address, Any]],
+        name: str = "fn-ingress",
+    ) -> None:
+        # A zero-arg callable defers resolution until the task opens —
+        # needed because the runtime shares the engine's kernel, which only
+        # exists once the engine is built.
+        self._runtime_source = runtime
+        self.runtime: StatefulFunctionRuntime | None = (
+            runtime if isinstance(runtime, StatefulFunctionRuntime) else None
+        )
+        self.route = route
+        self._name = name
+        self.routed = 0
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def open(self, ctx: OperatorContext) -> None:
+        if self.runtime is None:
+            self.runtime = self._runtime_source()
+
+    def process(self, record: Record, ctx: OperatorContext) -> None:
+        if self.runtime is None:
+            self.runtime = self._runtime_source()
+        target, payload = self.route(record.value)
+        self.runtime.send(target, payload)
+        self.routed += 1
+        ctx.emit(record)
+
+
+class FunctionDispatchOperator(Operator):
+    """Hosts function handlers *inside* a dataflow task (actors on streams).
+
+    Input records are ``(Address, payload)`` pairs keyed by address;
+    handler sends to other functions are emitted as records that the
+    surrounding pipeline loops back via a feedback edge.
+    """
+
+    def __init__(
+        self,
+        handlers: dict[str, Callable[["_DispatchContext", Any], None]],
+        name: str = "fn-dispatch",
+    ) -> None:
+        self.handlers = dict(handlers)
+        self._name = name
+        self.invocations = 0
+        self.egress: dict[str, list[Any]] = {}
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def process(self, record: Record, ctx: OperatorContext) -> None:
+        address, payload = record.value
+        handler = self.handlers.get(address.type)
+        if handler is None:
+            ctx.emit_to("dead-letter", record)
+            return
+        self.invocations += 1
+        dispatch_ctx = _DispatchContext(self, address, ctx)
+        handler(dispatch_ctx, payload)
+
+
+class _DispatchContext:
+    """Minimal function context for in-dataflow dispatch."""
+
+    def __init__(self, operator: FunctionDispatchOperator, address: Address, ctx: OperatorContext) -> None:
+        self._operator = operator
+        self._ctx = ctx
+        self.address = address
+
+    def storage_get(self, default: Any = None) -> Any:
+        from repro.state.api import ValueStateDescriptor
+
+        descriptor = ValueStateDescriptor(f"fn-{self.address.type}")
+        value = self._ctx.state(descriptor).value()
+        return default if value is None else value
+
+    def storage_set(self, value: Any) -> None:
+        from repro.state.api import ValueStateDescriptor
+
+        descriptor = ValueStateDescriptor(f"fn-{self.address.type}")
+        self._ctx.state(descriptor).update(value)
+
+    def send(self, target: Address, payload: Any) -> None:
+        # Emitted as a record; the feedback edge routes it back to dispatch.
+        self._ctx.emit(Record(value=(target, payload), key=str(target)))
+
+    def send_egress(self, egress: str, value: Any) -> None:
+        self._operator.egress.setdefault(egress, []).append(value)
+
+
+def feedback_function_pipeline(
+    env: Any,
+    workload: Any,
+    route: Callable[[Any], tuple[Address, Any]],
+    handlers: dict[str, Callable[[_DispatchContext, Any], None]],
+    parallelism: int = 1,
+) -> FunctionDispatchOperator:
+    """Build source → route → dispatch with a feedback loop for sends.
+
+    Returns the dispatch operator prototype registry holder: egress values
+    accumulate in ``dispatch.egress`` across all subtasks (the factory
+    shares one operator instance per subtask via closure capture).
+    """
+    from repro.core.graph import Partitioning
+
+    dispatchers: list[FunctionDispatchOperator] = []
+
+    def factory() -> FunctionDispatchOperator:
+        op = FunctionDispatchOperator(handlers)
+        dispatchers.append(op)
+        return op
+
+    routed = env.from_workload(workload, name="fn-src").map(
+        lambda v: route(v), name="fn-route"
+    )
+    keyed = routed.key_by(lambda pair: str(pair[0]), name="fn-key", parallelism=parallelism)
+    dispatch = keyed._connect("fn-dispatch", factory, parallelism=parallelism)
+    # Feedback: dispatch output loops back into itself, hash-partitioned.
+    env.graph.add_edge(
+        dispatch.node, dispatch.node, partitioning=Partitioning.HASH, is_feedback=True
+    )
+    holder = FunctionDispatchOperator(handlers, name="holder")
+    holder._instances = dispatchers  # type: ignore[attr-defined]
+    return holder
+
+
+def merged_egress(holder: FunctionDispatchOperator, egress: str) -> list[Any]:
+    """Collect an egress across the dispatch subtask instances."""
+    out: list[Any] = []
+    for instance in getattr(holder, "_instances", []):
+        out.extend(instance.egress.get(egress, []))
+    return out

@@ -1,0 +1,25 @@
+"""Generation profiles: Figure 1 as executable configurations."""
+
+from repro.generations.profiles import (
+    CAPABILITIES,
+    GEN1,
+    GEN2,
+    GEN3,
+    GENERATIONS,
+    GenerationProfile,
+    PipelineArtifacts,
+    build_analytics_pipeline,
+    capability_row,
+)
+
+__all__ = [
+    "CAPABILITIES",
+    "GEN1",
+    "GEN2",
+    "GEN3",
+    "GENERATIONS",
+    "GenerationProfile",
+    "PipelineArtifacts",
+    "build_analytics_pipeline",
+    "capability_row",
+]

@@ -1,0 +1,20 @@
+"""Streaming graph processing (survey §4.1)."""
+
+from repro.graphs.connectivity import IncrementalComponents, RecomputeComponents, UnionFind
+from repro.graphs.operator import GraphStreamOperator
+from repro.graphs.paths import IncrementalSSSP, RecomputeSSSP
+from repro.graphs.stream import DynamicGraph, EdgeEvent
+from repro.graphs.walks import CooccurrenceEmbedding, StreamingRandomWalks
+
+__all__ = [
+    "CooccurrenceEmbedding",
+    "DynamicGraph",
+    "EdgeEvent",
+    "GraphStreamOperator",
+    "IncrementalComponents",
+    "IncrementalSSSP",
+    "RecomputeComponents",
+    "RecomputeSSSP",
+    "StreamingRandomWalks",
+    "UnionFind",
+]

@@ -1,0 +1,157 @@
+"""Continuous shortest paths on an evolving road network (§4.1 ride sharing).
+
+"Such an application needs to continuously compute shortest path queries
+with low latency." :class:`IncrementalSSSP` maintains a single-source
+shortest-path tree under edge updates: insertions/improvements relax only
+the affected region; deletions that break tree edges recompute the
+invalidated part. The :class:`RecomputeSSSP` baseline runs Dijkstra from
+scratch per event; both count relaxations so E13 can compare work.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any
+
+from repro.graphs.stream import DynamicGraph, EdgeEvent
+
+INF = float("inf")
+
+
+class RecomputeSSSP:
+    """Baseline: full Dijkstra after every edge event."""
+
+    def __init__(self, source: Any) -> None:
+        self.source = source
+        self.graph = DynamicGraph()
+        self.dist: dict[Any, float] = {source: 0.0}
+        self.relaxations = 0
+
+    def apply(self, event: EdgeEvent) -> None:
+        """Apply one edge event and rerun Dijkstra from scratch."""
+        self.graph.apply(event)
+        self._dijkstra()
+
+    def _dijkstra(self) -> None:
+        self.dist = {self.source: 0.0}
+        heap = [(0.0, repr(self.source), self.source)]
+        done = set()
+        while heap:
+            d, _tie, node = heapq.heappop(heap)
+            if node in done:
+                continue
+            done.add(node)
+            for neighbor, weight in self.graph.neighbors(node).items():
+                self.relaxations += 1
+                nd = d + weight
+                if nd < self.dist.get(neighbor, INF):
+                    self.dist[neighbor] = nd
+                    heapq.heappush(heap, (nd, repr(neighbor), neighbor))
+
+    def distance(self, node: Any) -> float:
+        """Current shortest distance from the source (inf if unreachable)."""
+        return self.dist.get(node, INF)
+
+
+class IncrementalSSSP:
+    """Dynamic SSSP: localized relaxation on inserts, partial recompute on
+    deletes (Ramalingam–Reps style, simplified)."""
+
+    def __init__(self, source: Any) -> None:
+        self.source = source
+        self.graph = DynamicGraph()
+        self.dist: dict[Any, float] = {source: 0.0}
+        self.relaxations = 0
+
+    # ------------------------------------------------------------------
+    def apply(self, event: EdgeEvent) -> None:
+        """Apply one edge event, relaxing or repairing only the affected region."""
+        if event.op == "insert":
+            old_weight = self.graph.weight(event.u, event.v)
+            self.graph.apply(event)
+            if old_weight is not None and event.weight > old_weight:
+                # Weight increase behaves like a (partial) deletion.
+                self._handle_increase(event.u, event.v)
+            else:
+                self._relax_from_edge(event.u, event.v, event.weight)
+        else:
+            changed = self.graph.apply(event)
+            if changed:
+                self._handle_increase(event.u, event.v)
+
+    def _relax_from_edge(self, u: Any, v: Any, weight: float) -> None:
+        heap: list[tuple[float, str, Any]] = []
+        for a, b in ((u, v), (v, u)):
+            da = self.dist.get(a, INF)
+            if da + weight < self.dist.get(b, INF):
+                self.dist[b] = da + weight
+                heapq.heappush(heap, (self.dist[b], repr(b), b))
+        self._propagate(heap)
+
+    def _propagate(self, heap: list[tuple[float, str, Any]]) -> None:
+        while heap:
+            d, _tie, node = heapq.heappop(heap)
+            if d > self.dist.get(node, INF):
+                continue
+            for neighbor, weight in self.graph.neighbors(node).items():
+                self.relaxations += 1
+                nd = d + weight
+                if nd < self.dist.get(neighbor, INF):
+                    self.dist[neighbor] = nd
+                    heapq.heappush(heap, (nd, repr(neighbor), neighbor))
+
+    def _handle_increase(self, u: Any, v: Any) -> None:
+        """An edge got worse/removed: distances that routed through it may
+        be stale. Invalidate the affected region and re-relax it from its
+        valid boundary."""
+        affected = self._affected_region(u, v)
+        if not affected:
+            return
+        for node in affected:
+            self.dist.pop(node, None)
+        if self.source not in self.dist:
+            self.dist[self.source] = 0.0
+        boundary: list[tuple[float, str, Any]] = []
+        for node in affected:
+            best = INF
+            for neighbor, weight in self.graph.neighbors(node).items():
+                self.relaxations += 1
+                candidate = self.dist.get(neighbor, INF) + weight
+                if candidate < best:
+                    best = candidate
+            if node == self.source:
+                best = 0.0
+            if best < INF:
+                self.dist[node] = best
+                heapq.heappush(boundary, (best, repr(node), node))
+        self._propagate(boundary)
+
+    def _affected_region(self, u: Any, v: Any) -> set[Any]:
+        """Nodes whose current distance might depend on edge (u, v): those
+        reachable through descendants of the endpoint that used the edge."""
+        # Which endpoint routed through the other?
+        du, dv = self.dist.get(u, INF), self.dist.get(v, INF)
+        if du == INF and dv == INF:
+            return set()
+        child = v if dv >= du else u
+        # BFS over "shortest-path children": nodes whose dist equals
+        # parent dist + edge weight (conservatively overestimates).
+        region = {child}
+        queue = [child]
+        while queue:
+            node = queue.pop()
+            d_node = self.dist.get(node, INF)
+            for neighbor, weight in self.graph.neighbors(node).items():
+                self.relaxations += 1
+                if neighbor in region:
+                    continue
+                if self.dist.get(neighbor, INF) >= d_node + weight - 1e-12 and self.dist.get(
+                    neighbor, INF
+                ) != INF:
+                    region.add(neighbor)
+                    queue.append(neighbor)
+        return region
+
+    def distance(self, node: Any) -> float:
+        """Current shortest distance from the source (inf if unreachable)."""
+        return self.dist.get(node, INF)

@@ -1,0 +1,23 @@
+"""Hardware acceleration & new-hardware fault tolerance (survey §4.2)."""
+
+from repro.hardware.accel import (
+    AcceleratorModel,
+    MicroBatchAcceleratedOperator,
+    scalar_filter_project,
+    scalar_window_sums,
+    vectorized_filter_project,
+    vectorized_window_sums,
+)
+from repro.hardware.nvram import PersistentMemoryBackend, RecoveryEstimate, RecoveryTimeModel
+
+__all__ = [
+    "AcceleratorModel",
+    "MicroBatchAcceleratedOperator",
+    "PersistentMemoryBackend",
+    "RecoveryEstimate",
+    "RecoveryTimeModel",
+    "scalar_filter_project",
+    "scalar_window_sums",
+    "vectorized_filter_project",
+    "vectorized_window_sums",
+]

@@ -1,0 +1,176 @@
+"""Hardware acceleration model (survey §4.2).
+
+SABER/Fleet-style findings: stream-native operations benefit from
+accelerators *only above a batch-size threshold*, because every kernel
+launch pays a fixed overhead. Three pieces reproduce that shape:
+
+* :class:`AcceleratorModel` — the analytical cost model with its crossover
+  point;
+* :func:`scalar_window_sums` / :func:`vectorized_window_sums` — a real
+  scalar-vs-SIMD (NumPy) implementation pair for wall-clock benchmarking;
+* :class:`MicroBatchAcceleratedOperator` — a dataflow operator that
+  accumulates micro-batches and charges the modelled accelerator cost,
+  so pipeline-level experiments see the same economics in virtual time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.events import Record, Watermark
+from repro.core.operators.base import Operator, OperatorContext
+
+
+@dataclass(frozen=True)
+class AcceleratorModel:
+    """t_accel(n) = launch_overhead + n * per_element_cpu / speedup."""
+
+    launch_overhead: float = 20e-6
+    speedup: float = 16.0
+
+    def accelerated_time(self, batch: int, per_element_cpu: float) -> float:
+        """Kernel-launch overhead plus the accelerated per-element work."""
+        return self.launch_overhead + batch * per_element_cpu / self.speedup
+
+    def cpu_time(self, batch: int, per_element_cpu: float) -> float:
+        """Scalar CPU time for the batch."""
+        return batch * per_element_cpu
+
+    def wins(self, batch: int, per_element_cpu: float) -> bool:
+        """Whether offloading this batch beats the CPU."""
+        return self.accelerated_time(batch, per_element_cpu) < self.cpu_time(batch, per_element_cpu)
+
+    def crossover_batch(self, per_element_cpu: float) -> float:
+        """Batch size above which offloading wins."""
+        saved_per_element = per_element_cpu * (1.0 - 1.0 / self.speedup)
+        if saved_per_element <= 0:
+            return float("inf")
+        return self.launch_overhead / saved_per_element
+
+
+# --------------------------------------------------------------------------
+# real scalar vs vectorized kernels (wall-clock benchmarking, E14)
+# --------------------------------------------------------------------------
+def scalar_window_sums(values: list[float], window: int) -> list[float]:
+    """Tuple-at-a-time tumbling-window sums, pure Python."""
+    out: list[float] = []
+    acc = 0.0
+    count = 0
+    for value in values:
+        acc += value
+        count += 1
+        if count == window:
+            out.append(acc)
+            acc = 0.0
+            count = 0
+    if count:
+        out.append(acc)
+    return out
+
+
+def vectorized_window_sums(values: np.ndarray, window: int) -> np.ndarray:
+    """The same computation as one reshaped reduction (the SIMD/GPU path)."""
+    n = len(values)
+    full = (n // window) * window
+    sums = values[:full].reshape(-1, window).sum(axis=1)
+    if full < n:
+        sums = np.concatenate([sums, [values[full:].sum()]])
+    return sums
+
+
+def scalar_filter_project(values: list[dict], threshold: float) -> list[float]:
+    """Scalar selection+projection baseline."""
+    return [v["amount"] * 1.1 for v in values if v["amount"] > threshold]
+
+
+def vectorized_filter_project(amounts: np.ndarray, threshold: float) -> np.ndarray:
+    """NumPy selection+projection (the SIMD path)."""
+    return amounts[amounts > threshold] * 1.1
+
+
+# --------------------------------------------------------------------------
+# in-pipeline micro-batch offload
+# --------------------------------------------------------------------------
+class MicroBatchAcceleratedOperator(Operator):
+    """Accumulates ``batch_size`` records, computes ``kernel(batch)`` and
+    charges either CPU or accelerator time per the model.
+
+    ``kernel(values) -> list of outputs`` runs on the batch (NumPy inside
+    is encouraged); the operator's virtual cost per batch follows the
+    :class:`AcceleratorModel` so queueing behaviour reflects the offload
+    economics.
+    """
+
+    processing_cost = 0.0  # cost is charged per batch, not per element
+
+    def __init__(
+        self,
+        kernel: Callable[[list[Any]], list[Any]],
+        batch_size: int,
+        model: AcceleratorModel,
+        per_element_cpu: float = 2e-5,
+        use_accelerator: bool = True,
+        name: str = "accel",
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.kernel = kernel
+        self.batch_size = batch_size
+        self.model = model
+        self.per_element_cpu = per_element_cpu
+        self.use_accelerator = use_accelerator
+        self._name = name
+        self._batch: list[Record] = []
+        self.batches_run = 0
+        self.total_kernel_time = 0.0
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def process(self, record: Record, ctx: OperatorContext) -> None:
+        self._batch.append(record)
+        if len(self._batch) >= self.batch_size:
+            self._run_batch(ctx)
+
+    def _run_batch(self, ctx: OperatorContext) -> None:
+        if not self._batch:
+            return
+        batch, self._batch = self._batch, []
+        n = len(batch)
+        if self.use_accelerator:
+            cost = self.model.accelerated_time(n, self.per_element_cpu)
+        else:
+            cost = self.model.cpu_time(n, self.per_element_cpu)
+        ctx.add_cost(cost)
+        self.total_kernel_time += cost
+        self.batches_run += 1
+        outputs = self.kernel([r.value for r in batch])
+        last = batch[-1]
+        for output in outputs:
+            ctx.emit(
+                Record(
+                    value=output,
+                    event_time=last.event_time,
+                    key=last.key,
+                    ingest_time=batch[0].ingest_time,
+                )
+            )
+
+    def on_watermark(self, watermark: Watermark, ctx: OperatorContext) -> None:
+        # Batches must not straddle progress barriers indefinitely.
+        self._run_batch(ctx)
+        ctx.emit(watermark)
+
+    def flush(self, ctx: OperatorContext) -> None:
+        self._run_batch(ctx)
+
+    def snapshot_state(self) -> Any:
+        return list(self._batch)
+
+    def restore_state(self, snapshot: Any) -> None:
+        if snapshot is not None:
+            self._batch = list(snapshot)

@@ -1,0 +1,66 @@
+"""NVRAM-enabled fault recovery (survey §4.2).
+
+"Managed state currently resides mostly in volatile memory and can be lost
+upon failure. The potential adoption of NVRAM and RDMA ... could shift
+current approaches from fail-stop to efficient fault-recovery models."
+
+The backend itself is :class:`repro.state.external.PersistentMemoryBackend`
+(state survives the task); this module adds the recovery-time model that
+experiment E15 sweeps: DRAM + remote checkpoint restore vs NVRAM
+re-attachment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.state.external import PersistentMemoryBackend
+
+__all__ = ["PersistentMemoryBackend", "RecoveryTimeModel", "RecoveryEstimate"]
+
+
+@dataclass(frozen=True)
+class RecoveryEstimate:
+    strategy: str
+    state_bytes: int
+    recovery_seconds: float
+
+
+@dataclass(frozen=True)
+class RecoveryTimeModel:
+    """Time to bring a failed task's state back.
+
+    * DRAM + checkpoint: redeploy + pull the full snapshot from remote
+      storage at ``remote_read_bandwidth`` + replay since the checkpoint.
+    * NVRAM: redeploy + re-map the persistent heap (constant) + verify.
+    """
+
+    redeploy_seconds: float = 0.05
+    remote_read_bandwidth: float = 500e6  # bytes/second
+    replay_seconds_per_mb_churn: float = 0.02
+    nvram_map_seconds: float = 2e-3
+    nvram_verify_seconds_per_gb: float = 5e-3
+
+    def dram_checkpoint_recovery(self, state_bytes: int, churn_bytes: int = 0) -> RecoveryEstimate:
+        """Redeploy + remote snapshot read + churn replay."""
+        seconds = (
+            self.redeploy_seconds
+            + state_bytes / self.remote_read_bandwidth
+            + (churn_bytes / 1e6) * self.replay_seconds_per_mb_churn
+        )
+        return RecoveryEstimate("dram+checkpoint", state_bytes, seconds)
+
+    def nvram_recovery(self, state_bytes: int) -> RecoveryEstimate:
+        """Redeploy + persistent-heap re-mapping + verification."""
+        seconds = (
+            self.redeploy_seconds
+            + self.nvram_map_seconds
+            + (state_bytes / 1e9) * self.nvram_verify_seconds_per_gb
+        )
+        return RecoveryEstimate("nvram", state_bytes, seconds)
+
+    def speedup(self, state_bytes: int, churn_bytes: int = 0) -> float:
+        """DRAM-recovery time over NVRAM-recovery time."""
+        dram = self.dram_checkpoint_recovery(state_bytes, churn_bytes).recovery_seconds
+        nvram = self.nvram_recovery(state_bytes).recovery_seconds
+        return dram / nvram if nvram > 0 else float("inf")

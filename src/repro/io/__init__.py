@@ -1,0 +1,45 @@
+"""Workload generators and sinks for the survey's motivating domains."""
+
+from repro.io.sinks import (
+    CollectSink,
+    DedupSink,
+    LatencyStats,
+    Sink,
+    SinkResult,
+    TransactionalSink,
+    latency_stats,
+)
+from repro.io.sources import (
+    ClickstreamWorkload,
+    CollectionWorkload,
+    GraphEdgeWorkload,
+    OrderWorkload,
+    RateFunction,
+    RideWorkload,
+    SensorWorkload,
+    SourceEvent,
+    SyntheticWorkload,
+    TransactionWorkload,
+    Workload,
+)
+
+__all__ = [
+    "ClickstreamWorkload",
+    "CollectSink",
+    "CollectionWorkload",
+    "DedupSink",
+    "GraphEdgeWorkload",
+    "LatencyStats",
+    "OrderWorkload",
+    "RateFunction",
+    "RideWorkload",
+    "SensorWorkload",
+    "Sink",
+    "SinkResult",
+    "SourceEvent",
+    "SyntheticWorkload",
+    "TransactionWorkload",
+    "TransactionalSink",
+    "Workload",
+    "latency_stats",
+]

@@ -1,0 +1,28 @@
+"""Load management (survey §3.3): shedding, backpressure, elasticity, migration."""
+
+from repro.load.backpressure import BackpressureMonitor, PressureSample, source_slowdown
+from repro.load.elasticity import DS2Controller, OperatorModel, ScalingDecision
+from repro.load.migration import Rescaler, RescaleReport
+from repro.load.shedding import (
+    RandomShedder,
+    SemanticShedder,
+    Shedder,
+    WindowAwareShedder,
+    relative_error,
+)
+
+__all__ = [
+    "BackpressureMonitor",
+    "DS2Controller",
+    "OperatorModel",
+    "PressureSample",
+    "RandomShedder",
+    "RescaleReport",
+    "Rescaler",
+    "ScalingDecision",
+    "SemanticShedder",
+    "Shedder",
+    "WindowAwareShedder",
+    "relative_error",
+    "source_slowdown",
+]

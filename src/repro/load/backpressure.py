@@ -1,0 +1,89 @@
+"""Backpressure observation (survey §3.3).
+
+The mechanism itself is credit-based flow control in the channels
+(:mod:`repro.runtime.channel`); this module provides the observability used
+by experiments: per-task pressure samples and source-slowdown accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.runtime.engine import Engine
+from repro.runtime.task import SourceTask
+from repro.sim.kernel import PeriodicTimer
+
+
+@dataclass
+class PressureSample:
+    at: float
+    blocked_tasks: int
+    total_backlog: int
+    source_paused: bool
+
+
+@dataclass
+class BackpressureMonitor:
+    """Samples channel backlogs and blocked tasks on a fixed interval."""
+
+    engine: Engine
+    interval: float = 0.05
+    samples: list[PressureSample] = field(default_factory=list)
+
+    def start(self) -> None:
+        """Begin periodic sampling."""
+        self._timer = PeriodicTimer(self.engine.kernel, self.interval, self._sample)
+
+    def stop(self) -> None:
+        """Cancel sampling."""
+        if getattr(self, "_timer", None) is not None:
+            self._timer.cancel()
+
+    def _sample(self) -> None:
+        if self.engine.job_finished:
+            self.stop()
+            return
+        blocked = 0
+        backlog = 0
+        source_paused = False
+        for task in self.engine.tasks.values():
+            if task.is_backpressured:
+                blocked += 1
+                if isinstance(task, SourceTask):
+                    source_paused = True
+            for gate in task.output_gates:
+                backlog += gate.total_backlog()
+        self.samples.append(
+            PressureSample(
+                at=self.engine.kernel.now(),
+                blocked_tasks=blocked,
+                total_backlog=backlog,
+                source_paused=source_paused,
+            )
+        )
+
+    # --- analysis -------------------------------------------------------
+    def peak_backlog(self) -> int:
+        """Largest total channel backlog observed."""
+        return max((s.total_backlog for s in self.samples), default=0)
+
+    def source_paused_fraction(self) -> float:
+        """Fraction of samples with a stalled source."""
+        if not self.samples:
+            return 0.0
+        return sum(1 for s in self.samples if s.source_paused) / len(self.samples)
+
+    def blocked_fraction(self) -> float:
+        """Fraction of samples with any blocked task."""
+        if not self.samples:
+            return 0.0
+        return sum(1 for s in self.samples if s.blocked_tasks > 0) / len(self.samples)
+
+
+def source_slowdown(engine: Engine) -> float:
+    """Total virtual seconds sources spent stalled by backpressure."""
+    return sum(
+        task.metrics.blocked_time
+        for task in engine.tasks.values()
+        if isinstance(task, SourceTask)
+    )

@@ -1,0 +1,254 @@
+"""Live rescaling with state migration (survey §3.3, §4.2).
+
+Elastic engines change an operator's parallelism while the job runs: new
+subtasks join the hash routing, key-group state moves to its new owners,
+timers follow their keys, and watermark accounting adapts. Two
+reconfiguration modes are modelled:
+
+* ``"live"`` — Megaphone-style: only the moving state pauses (the involved
+  tasks stall for the transfer time);
+* ``"stop-restart"`` — the classic savepoint cycle: sources pause for the
+  full snapshot+restore round-trip (what the survey calls "inadequate for
+  constantly-online applications").
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.core.graph import Partitioning
+from repro.core.keys import subtask_for_key
+from repro.errors import LoadManagementError
+from repro.runtime.engine import Engine
+from repro.runtime.task import SourceTask, Task
+
+
+@dataclass
+class RescaleReport:
+    node_name: str
+    old_parallelism: int
+    new_parallelism: int
+    moved_entries: int
+    moved_bytes: int
+    mode: str
+    started_at: float
+    resumed_at: float
+
+    @property
+    def downtime(self) -> float:
+        return self.resumed_at - self.started_at
+
+
+class Rescaler:
+    """Applies parallelism changes to HASH-partitioned stages of a live engine."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        transfer_cost_per_byte: float = 2e-9,
+        base_pause: float = 5e-3,
+    ) -> None:
+        self.engine = engine
+        self.transfer_cost_per_byte = transfer_cost_per_byte
+        self.base_pause = base_pause
+        self.reports: list[RescaleReport] = []
+
+    # ------------------------------------------------------------------
+    def rescale(self, node_name: str, new_parallelism: int, mode: str = "live") -> RescaleReport:
+        """Change a HASH-partitioned node's parallelism live; returns the report."""
+        engine = self.engine
+        node = engine.graph.node_by_name(node_name)
+        if node.is_source:
+            raise LoadManagementError("rescaling sources is not supported")
+        tasks = engine.node_tasks[node.node_id]
+        old_parallelism = node.parallelism
+        if new_parallelism < 1:
+            raise LoadManagementError("parallelism must be >= 1")
+        for edge in engine.graph.inputs_of(node.node_id):
+            if edge.partitioning is Partitioning.FORWARD:
+                raise LoadManagementError(
+                    f"cannot rescale {node_name!r}: a FORWARD input edge pins "
+                    "parallelism (repartition upstream with HASH/REBALANCE)"
+                )
+        # FORWARD *output* edges are tolerated: new subtasks connect with
+        # REBALANCE instead (existing 1:1 links keep working).
+        started_at = engine.kernel.now()
+        if new_parallelism > old_parallelism:
+            self._scale_out(node, tasks, old_parallelism, new_parallelism)
+        elif new_parallelism < old_parallelism:
+            self._scale_in(node, tasks, old_parallelism, new_parallelism)
+        moved_entries, moved_bytes = self._migrate_state(node, new_parallelism)
+        self._install_reroute(node, new_parallelism)
+        node.parallelism = new_parallelism
+        for task in engine.node_tasks[node.node_id][:new_parallelism]:
+            task.parallelism = new_parallelism
+        resumed_at = self._charge_reconfiguration(node, mode, moved_bytes, started_at)
+        report = RescaleReport(
+            node_name=node_name,
+            old_parallelism=old_parallelism,
+            new_parallelism=new_parallelism,
+            moved_entries=moved_entries,
+            moved_bytes=moved_bytes,
+            mode=mode,
+            started_at=started_at,
+            resumed_at=resumed_at,
+        )
+        self.reports.append(report)
+        return report
+
+    # ------------------------------------------------------------------
+    def _scale_out(self, node, tasks: list[Task], old_p: int, new_p: int) -> None:
+        engine = self.engine
+        for index in range(old_p, new_p):
+            task = engine._make_task(node, index)
+            engine.node_tasks[node.node_id].append(task)
+            engine.tasks[task.name] = task
+            task.start()
+        new_tasks = engine.node_tasks[node.node_id][old_p:new_p]
+        # Incoming edges: extend every sender gate with channels to the new
+        # subtasks (appended in index order, so HASH routing stays aligned).
+        for edge_index, edge in enumerate(engine.graph.edges):
+            if edge.target_id == node.node_id:
+                spec = engine.config.channel_for(edge.channel)
+                for gate in engine.edge_gates.get(edge_index, {}).values():
+                    sender = gate.channels[0].sender if gate.channels else None
+                    for task in new_tasks:
+                        gate.channels.append(
+                            engine.make_channel(spec, sender, task, edge.is_feedback)
+                        )
+            if edge.source_id == node.node_id:
+                spec = engine.config.channel_for(edge.channel)
+                receivers = engine.node_tasks[edge.target_id]
+                from repro.runtime.channel import OutputGate
+
+                partitioning = edge.partitioning
+                if partitioning is Partitioning.FORWARD:
+                    partitioning = Partitioning.REBALANCE
+                for task in new_tasks:
+                    channels = [
+                        engine.make_channel(spec, task, receiver, edge.is_feedback)
+                        for receiver in receivers
+                    ]
+                    gate = OutputGate(partitioning, channels, engine.config.max_parallelism)
+                    task.attach_output(gate)
+                    engine.edge_gates.setdefault(edge_index, {})[task.name] = gate
+
+    def _scale_in(self, node, tasks: list[Task], old_p: int, new_p: int) -> None:
+        engine = self.engine
+        retired = tasks[new_p:old_p]
+        for edge_index, edge in enumerate(engine.graph.edges):
+            if edge.target_id == node.node_id:
+                for gate in engine.edge_gates.get(edge_index, {}).values():
+                    # Trailing channels point at the retired subtasks.
+                    while len(gate.channels) > new_p:
+                        gate.channels.pop()
+            if edge.source_id == node.node_id:
+                gates = engine.edge_gates.get(edge_index, {})
+                for task in retired:
+                    gate = gates.pop(task.name, None)
+                    if gate is not None:
+                        for channel in gate.channels:
+                            channel.receiver.retire_input_channel(channel.receiver_channel_index)
+        survivors = tasks[:new_p]
+        for task in retired:
+            # Redistribute queued records before stopping the task.
+            for item in list(task._mailbox):
+                element = item.element
+                key = getattr(element, "key", None)
+                if key is not None:
+                    owner = survivors[
+                        subtask_for_key(key, new_p, engine.config.max_parallelism)
+                    ]
+                    owner.enqueue_local(element)
+            task.release_mailbox_credits()
+            task._mailbox.clear()
+            task.finished = True
+            task.metrics.finished_at = engine.kernel.now()
+        engine.node_tasks[node.node_id] = survivors
+
+    # ------------------------------------------------------------------
+    def _migrate_state(self, node, new_p: int) -> tuple[int, int]:
+        engine = self.engine
+        tasks = engine.node_tasks[node.node_id]
+        all_tasks = tasks + [
+            t
+            for t in engine.tasks.values()
+            if t not in tasks and t.name.startswith(f"{node.name}[") and t.finished
+        ]
+        moved_entries = 0
+        moved_bytes = 0
+        max_par = engine.config.max_parallelism
+        for task in all_tasks:
+            def misplaced(key, index=task.subtask_index, active=not task.finished):
+                owner = subtask_for_key(key, new_p, max_par)
+                return owner != index or not active
+
+            extracted = task.state_backend.extract_keys(misplaced)
+            # Timers follow their keys.
+            moving_timers: dict[int, list] = {}
+            remaining = []
+            for timer in task._event_timers:
+                _ts, _seq, key, _payload = timer
+                if key is not None and (
+                    task.finished or subtask_for_key(key, new_p, max_par) != task.subtask_index
+                ):
+                    owner_index = subtask_for_key(key, new_p, max_par)
+                    moving_timers.setdefault(owner_index, []).append(timer)
+                else:
+                    remaining.append(timer)
+            task._event_timers = remaining
+            heapq.heapify(task._event_timers)
+            for name, entries in extracted.items():
+                by_owner: dict[int, dict] = {}
+                for key, data in entries.items():
+                    owner_index = subtask_for_key(key, new_p, max_par)
+                    by_owner.setdefault(owner_index, {})[key] = data
+                    moved_entries += 1
+                    moved_bytes += len(data)
+                for owner_index, chunk in by_owner.items():
+                    tasks[owner_index].state_backend.restore({name: chunk})
+            for owner_index, timers in moving_timers.items():
+                for ts, _seq, key, payload in timers:
+                    tasks[owner_index].register_event_timer(ts, key, payload)
+        return moved_entries, moved_bytes
+
+    def _install_reroute(self, node, new_p: int) -> None:
+        """Old owners forward in-flight records to the new owners (the
+        Megaphone-style correctness piece of live migration)."""
+        engine = self.engine
+        survivors = engine.node_tasks[node.node_id]
+        max_par = engine.config.max_parallelism
+
+        def owner_of(key):
+            return survivors[subtask_for_key(key, new_p, max_par)]
+
+        for task in engine.tasks.values():
+            if task.name.startswith(f"{node.name}["):
+                task.reroute = owner_of
+
+    # ------------------------------------------------------------------
+    def _charge_reconfiguration(self, node, mode: str, moved_bytes: int, started_at: float) -> float:
+        engine = self.engine
+        transfer = self.base_pause + moved_bytes * self.transfer_cost_per_byte
+        if mode == "stop-restart":
+            # Whole pipeline pauses: sources stop for snapshot + restore.
+            pause = 2 * transfer  # write out, read back
+            for task in engine.tasks.values():
+                if isinstance(task, SourceTask) and not task.finished and not task.dead:
+                    task.pause()
+                    engine.kernel.call_after(pause, task.resume)
+            return started_at + pause
+        if mode == "live":
+            # Only the rescaled tasks stall while their state moves.
+            for task in engine.node_tasks[node.node_id]:
+                task._busy = True
+                task.metrics.busy_time += transfer
+
+                def release(t=task):
+                    t._busy = False
+                    t._maybe_schedule()
+
+                engine.kernel.call_after(transfer, release)
+            return started_at + transfer
+        raise LoadManagementError(f"unknown rescale mode {mode!r}")

@@ -1,0 +1,89 @@
+"""Online feature engineering for streaming ML pipelines."""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+
+class OnlineStandardScaler:
+    """Welford-style running mean/variance standardization.
+
+    Streaming pipelines cannot see the dataset up front; the scaler updates
+    its statistics per observation and standardizes with what it knows.
+    """
+
+    def __init__(self, dim: int) -> None:
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        self.dim = dim
+        self.count = 0
+        self._mean = np.zeros(dim)
+        self._m2 = np.zeros(dim)
+
+    def update(self, x: np.ndarray) -> None:
+        """Fold one observation into the running statistics."""
+        self.count += 1
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+
+    @property
+    def mean(self) -> np.ndarray:
+        return self._mean.copy()
+
+    @property
+    def std(self) -> np.ndarray:
+        if self.count < 2:
+            return np.ones(self.dim)
+        std = np.sqrt(self._m2 / (self.count - 1))
+        std[std < 1e-12] = 1.0
+        return std
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Standardize with the statistics seen so far."""
+        return (x - self._mean) / self.std
+
+    def update_transform(self, x: np.ndarray) -> np.ndarray:
+        """Update then standardize (the streaming path)."""
+        self.update(x)
+        return self.transform(x)
+
+
+class FeatureVectorizer:
+    """Maps payload dicts to fixed-width vectors.
+
+    ``spec`` is a list of (name, extractor); categorical one-hots are
+    expressed as extractors returning 0/1.
+    """
+
+    def __init__(self, spec: list[tuple[str, Any]]) -> None:
+        if not spec:
+            raise ValueError("feature spec must not be empty")
+        self.spec = spec
+
+    @property
+    def dim(self) -> int:
+        return len(self.spec)
+
+    @property
+    def names(self) -> list[str]:
+        return [name for name, _fn in self.spec]
+
+    def vectorize(self, value: dict) -> np.ndarray:
+        """Map a payload dict to a fixed-width float vector."""
+        return np.array([float(fn(value)) for _name, fn in self.spec])
+
+
+def transaction_features() -> FeatureVectorizer:
+    """Feature map for the card-transaction workload (fraud pipelines)."""
+    return FeatureVectorizer(
+        [
+            ("amount", lambda v: v["amount"]),
+            ("log_amount", lambda v: math.log1p(v["amount"])),
+            ("foreign", lambda v: 1.0 if v["country"] in ("XX", "YY") else 0.0),
+            ("bias", lambda _v: 1.0),
+        ]
+    )

@@ -1,0 +1,103 @@
+"""Punctuation generation (Tucker et al., survey §2.3).
+
+Punctuations are in-band predicates asserting "no more records like this".
+:class:`PunctuationInjector` derives event-time punctuations from the data
+it forwards (the common deployment: an ingestion operator that knows the
+source's disorder bound); :class:`PunctuationFilter` enforces them,
+dropping records a previous punctuation promised would never come — the
+"grammar checking" role punctuations play in Gigascope-style systems.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.events import Punctuation, Record
+from repro.core.operators.base import Operator, OperatorContext
+
+
+class PunctuationInjector(Operator):
+    """Forwards records and emits an event-time punctuation every
+    ``every_n`` records, bounded ``disorder_bound`` behind the max seen
+    event time."""
+
+    def __init__(
+        self,
+        every_n: int = 100,
+        disorder_bound: float = 0.0,
+        attribute: str = "event_time",
+        name: str = "punctuate",
+    ) -> None:
+        if every_n < 1:
+            raise ValueError("every_n must be >= 1")
+        self.every_n = every_n
+        self.disorder_bound = disorder_bound
+        self.attribute = attribute
+        self._name = name
+        self._count = 0
+        self._max_seen = float("-inf")
+        self._last_bound = float("-inf")
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def process(self, record: Record, ctx: OperatorContext) -> None:
+        ctx.emit(record)
+        if record.event_time is not None:
+            self._max_seen = max(self._max_seen, record.event_time)
+        self._count += 1
+        if self._count % self.every_n == 0 and self._max_seen > float("-inf"):
+            bound = self._max_seen - self.disorder_bound
+            if bound > self._last_bound:
+                self._last_bound = bound
+                ctx.emit(Punctuation(attribute=self.attribute, bound=bound))
+
+    def snapshot_state(self) -> Any:
+        return (self._count, self._max_seen, self._last_bound)
+
+    def restore_state(self, snapshot: Any) -> None:
+        if snapshot is not None:
+            self._count, self._max_seen, self._last_bound = snapshot
+
+
+class PunctuationFilter(Operator):
+    """Drops records already closed out by a seen punctuation.
+
+    ``extract(value, event_time)`` yields the quantity compared against
+    punctuation bounds (default: the record's event time).
+    """
+
+    def __init__(
+        self,
+        extract: Callable[[Any, float | None], Any] | None = None,
+        name: str = "punct-filter",
+    ) -> None:
+        self._extract = extract or (lambda _value, event_time: event_time)
+        self._name = name
+        self._bound: Any = None
+        self.violations = 0
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def process(self, record: Record, ctx: OperatorContext) -> None:
+        quantity = self._extract(record.value, record.event_time)
+        if self._bound is not None and quantity is not None and quantity <= self._bound:
+            self.violations += 1
+            ctx.emit_to("late", record)
+            return
+        ctx.emit(record)
+
+    def on_punctuation(self, punctuation: Punctuation, ctx: OperatorContext) -> None:
+        if self._bound is None or punctuation.bound > self._bound:
+            self._bound = punctuation.bound
+        ctx.emit(punctuation)
+
+    def snapshot_state(self) -> Any:
+        return (self._bound, self.violations)
+
+    def restore_state(self, snapshot: Any) -> None:
+        if snapshot is not None:
+            self._bound, self.violations = snapshot

@@ -1,0 +1,90 @@
+"""Aurora-style *slack*: bounded reordering at the operator (survey §2.3).
+
+Aurora's windowed operators tolerated disorder via a ``slack`` parameter: an
+operator holds back up to ``slack`` positions before acting, emitting
+elements in event-time order; anything arriving later than the slack allows
+is dropped (first-generation semantics: best effort, no retractions).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any
+
+from repro.core.events import Record, Watermark
+from repro.core.operators.base import Operator, OperatorContext
+
+
+class SlackReorderOperator(Operator):
+    """Reorders records into event-time order using a fixed-size buffer.
+
+    Args:
+        slack: number of positions of disorder tolerated. ``slack=0`` means
+            records must already be in order (later-stamped arrivals drop).
+        emit_watermarks: regenerate watermarks from the released prefix so
+            downstream event-time operators can rely on order.
+    """
+
+    def __init__(self, slack: int, emit_watermarks: bool = True, name: str = "slack") -> None:
+        if slack < 0:
+            raise ValueError(f"slack must be >= 0, got {slack}")
+        self.slack = slack
+        self.emit_watermarks = emit_watermarks
+        self._name = name
+        self._heap: list[tuple[float, int, Record]] = []
+        self._seq = itertools.count()
+        self._released_up_to = float("-inf")
+        self.dropped_late = 0
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def process(self, record: Record, ctx: OperatorContext) -> None:
+        event_time = record.event_time if record.event_time is not None else 0.0
+        if event_time < self._released_up_to:
+            # Arrived too disordered for the slack budget: Aurora drops it.
+            self.dropped_late += 1
+            ctx.emit_to("late", record)
+            return
+        heapq.heappush(self._heap, (event_time, next(self._seq), record))
+        while len(self._heap) > self.slack:
+            self._release_one(ctx)
+
+    def _release_one(self, ctx: OperatorContext) -> None:
+        event_time, _seq, record = heapq.heappop(self._heap)
+        self._released_up_to = max(self._released_up_to, event_time)
+        ctx.emit(record)
+        if self.emit_watermarks:
+            ctx.emit(Watermark(self._released_up_to))
+
+    def on_watermark(self, watermark: Watermark, ctx: OperatorContext) -> None:
+        # Upstream watermarks are absorbed; this operator issues its own
+        # progress based on what it has released.
+        if watermark.timestamp == float("inf"):
+            self.flush(ctx)
+            ctx.emit(watermark)
+
+    def flush(self, ctx: OperatorContext) -> None:
+        while self._heap:
+            self._release_one(ctx)
+
+    def snapshot_state(self) -> Any:
+        return {
+            "heap": [(t, s, r) for t, s, r in self._heap],
+            "released": self._released_up_to,
+            "dropped": self.dropped_late,
+        }
+
+    def restore_state(self, snapshot: Any) -> None:
+        if snapshot is None:
+            return
+        self._heap = list(snapshot["heap"])
+        heapq.heapify(self._heap)
+        self._released_up_to = snapshot["released"]
+        self.dropped_late = snapshot["dropped"]
+
+    @property
+    def buffered(self) -> int:
+        return len(self._heap)

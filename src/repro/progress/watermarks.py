@@ -1,0 +1,185 @@
+"""Watermark generation strategies (Dataflow/MillWheel lineage, §2.3).
+
+A watermark ``W(t)`` asserts no record with event time ≤ t is still coming.
+Strategies differ in how they trade *eagerness* (low result latency) against
+*completeness* (few late records):
+
+* :class:`AscendingTimestamps` — zero tolerance, for in-order sources;
+* :class:`BoundedOutOfOrderness` — the industry default: lag the maximum
+  seen event time by a fixed bound;
+* :class:`PunctuatedWatermarks` — derive watermarks from marker records in
+  the data itself;
+* :class:`NoWatermarks` — first-generation behaviour (progress by other
+  means: heartbeats, slack, punctuations).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.events import MIN_TIMESTAMP, Watermark
+
+
+class WatermarkStrategy:
+    """Per-source-subtask watermark generator.
+
+    The source task calls :meth:`on_event` for every record and
+    :meth:`on_periodic` on the configured interval; either may yield a new
+    watermark. Implementations must be monotone: the runtime asserts
+    non-decreasing outputs.
+    """
+
+    #: virtual seconds between on_periodic probes (None = no periodic calls)
+    periodic_interval: float | None = 0.05
+
+    def on_event(self, value: Any, event_time: float | None, now: float) -> Watermark | None:
+        """Per-record hook; may return a new watermark (punctuated styles)."""
+        return None
+
+    def on_periodic(self, now: float) -> Watermark | None:
+        """Interval hook; may return a new watermark (periodic styles)."""
+        return None
+
+    def fresh(self) -> "WatermarkStrategy":
+        """A new, unshared instance for one source subtask (strategies are
+        stateful; the graph stores a prototype)."""
+        return type(self)()
+
+
+class NoWatermarks(WatermarkStrategy):
+    """Emit nothing: event-time machinery stays idle (gen-1 profile)."""
+
+    periodic_interval = None
+
+    def fresh(self) -> "NoWatermarks":
+        return NoWatermarks()
+
+
+class AscendingTimestamps(WatermarkStrategy):
+    """For sources that promise in-order event times: watermark trails the
+    last record by an epsilon."""
+
+    def __init__(self, periodic_interval: float = 0.05) -> None:
+        self.periodic_interval = periodic_interval
+        self._max_seen = MIN_TIMESTAMP
+
+    def on_event(self, value: Any, event_time: float | None, now: float) -> Watermark | None:
+        if event_time is not None:
+            self._max_seen = max(self._max_seen, event_time)
+        return None
+
+    def on_periodic(self, now: float) -> Watermark | None:
+        if self._max_seen == MIN_TIMESTAMP:
+            return None
+        return Watermark(self._max_seen)
+
+    def fresh(self) -> "AscendingTimestamps":
+        return AscendingTimestamps(self.periodic_interval)
+
+
+class BoundedOutOfOrderness(WatermarkStrategy):
+    """Watermark = max event time seen − bound, emitted periodically."""
+
+    def __init__(self, bound: float, periodic_interval: float = 0.05) -> None:
+        if bound < 0:
+            raise ValueError(f"bound must be >= 0, got {bound}")
+        self.bound = bound
+        self.periodic_interval = periodic_interval
+        self._max_seen = MIN_TIMESTAMP
+
+    def on_event(self, value: Any, event_time: float | None, now: float) -> Watermark | None:
+        if event_time is not None:
+            self._max_seen = max(self._max_seen, event_time)
+        return None
+
+    def on_periodic(self, now: float) -> Watermark | None:
+        if self._max_seen == MIN_TIMESTAMP:
+            return None
+        return Watermark(self._max_seen - self.bound)
+
+    def fresh(self) -> "BoundedOutOfOrderness":
+        return BoundedOutOfOrderness(self.bound, self.periodic_interval)
+
+
+class PunctuatedWatermarks(WatermarkStrategy):
+    """Extract watermarks from the records themselves.
+
+    ``extractor(value, event_time)`` returns a watermark timestamp or None;
+    e.g. end-of-batch markers in the payload.
+    """
+
+    periodic_interval = None
+
+    def __init__(self, extractor: Callable[[Any, float | None], float | None]) -> None:
+        self._extractor = extractor
+
+    def on_event(self, value: Any, event_time: float | None, now: float) -> Watermark | None:
+        ts = self._extractor(value, event_time)
+        return Watermark(ts) if ts is not None else None
+
+    def fresh(self) -> "PunctuatedWatermarks":
+        return PunctuatedWatermarks(self._extractor)
+
+
+class ProcessingTimeLag(WatermarkStrategy):
+    """Watermark = now − lag: progress driven by the wall clock, robust to
+    idle sources but wrong if event time drifts from processing time."""
+
+    def __init__(self, lag: float, periodic_interval: float = 0.05) -> None:
+        self.lag = lag
+        self.periodic_interval = periodic_interval
+
+    def on_periodic(self, now: float) -> Watermark | None:
+        return Watermark(now - self.lag)
+
+    def fresh(self) -> "ProcessingTimeLag":
+        return ProcessingTimeLag(self.lag, self.periodic_interval)
+
+
+class WatermarkMerger:
+    """Min-combiner over a task's input channels.
+
+    Keeps the last watermark per channel; the task watermark is the minimum,
+    advancing only when the slowest channel advances — the standard
+    multi-input rule in MillWheel/Flink/Dataflow.
+    """
+
+    def __init__(self, channel_count: int) -> None:
+        self._per_channel = [MIN_TIMESTAMP] * channel_count
+        self.current = MIN_TIMESTAMP
+
+    def update(self, channel_index: int, timestamp: float) -> float | None:
+        """Record a channel watermark; return the new merged watermark if it
+        advanced, else None."""
+        if timestamp < self._per_channel[channel_index]:
+            # Regressing channel watermark: ignore (idempotent safety).
+            return None
+        self._per_channel[channel_index] = timestamp
+        merged = min(self._per_channel)
+        if merged > self.current:
+            self.current = merged
+            return merged
+        return None
+
+    def retire_channel(self, channel_index: int) -> float | None:
+        """Remove a channel from progress tracking (scale-in, dynamic
+        topologies): it stops constraining the merged watermark. Returns the
+        new merged watermark if it advanced."""
+        self._per_channel[channel_index] = float("inf")
+        merged = min(self._per_channel)
+        if merged > self.current:
+            self.current = merged
+            return merged
+        return None
+
+    def add_channel(self, initial: float | None = None) -> int:
+        """Register a new input channel (dynamic topologies); it starts at
+        the current merged watermark so it cannot move progress backwards
+        unless it genuinely lags."""
+        value = self.current if initial is None else initial
+        self._per_channel.append(value)
+        return len(self._per_channel) - 1
+
+    @property
+    def channel_watermarks(self) -> list[float]:
+        return list(self._per_channel)

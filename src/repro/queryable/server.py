@@ -1,0 +1,150 @@
+"""Queryable state: external point queries against live pipeline state (§4.2).
+
+Internal state "currently a black box to the user, is becoming the main
+point of interest". The service answers point queries against any task's
+keyed state with two consistency modes:
+
+* ``snapshot`` — the value is serde-copied at query time (Flink
+  point-query / S-Store external access isolation): readers never observe
+  later mutations;
+* ``direct`` — the live object is returned by reference, which is faster
+  but exposes torn reads when the pipeline mutates structures in place
+  (experiment E16 demonstrates the anomaly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.keys import subtask_for_key
+from repro.core.serde import DEFAULT_SERDE
+from repro.errors import QueryableStateError
+from repro.runtime.engine import Engine
+from repro.state.api import StateDescriptor
+
+
+@dataclass
+class QueryResult:
+    key: Any
+    value: Any
+    asked_at: float
+    answered_at: float
+    consistency: str
+
+    @property
+    def latency(self) -> float:
+        return self.answered_at - self.asked_at
+
+
+class QueryableStateService:
+    """Query façade over a running engine."""
+
+    def __init__(self, engine: Engine, query_latency: float = 1e-3) -> None:
+        self.engine = engine
+        self.query_latency = query_latency
+        self.queries_served = 0
+
+    # ------------------------------------------------------------------
+    def _locate(self, node_name: str, descriptor: StateDescriptor, key: Any):
+        tasks = self.engine.tasks_of(node_name)
+        index = subtask_for_key(key, len(tasks), self.engine.config.max_parallelism)
+        return tasks[index]
+
+    def query(
+        self,
+        node_name: str,
+        descriptor: StateDescriptor,
+        key: Any,
+        consistency: str = "snapshot",
+        callback: Callable[[QueryResult], None] | None = None,
+    ) -> QueryResult | None:
+        """Asynchronous query: the answer materializes ``query_latency``
+        later on the engine's clock. With no callback, resolves immediately
+        (zero-latency debugging read) and returns the result."""
+        if consistency not in ("snapshot", "direct"):
+            raise QueryableStateError(f"unknown consistency {consistency!r}")
+        asked_at = self.engine.kernel.now()
+
+        def answer() -> QueryResult:
+            task = self._locate(node_name, descriptor, key)
+            if task.dead:
+                raise QueryableStateError(f"task {task.name} is down")
+            value = task.state_backend.get(descriptor, key)
+            if consistency == "snapshot" and value is not None:
+                value = descriptor.serde.copy(value)
+            self.queries_served += 1
+            return QueryResult(
+                key=key,
+                value=value,
+                asked_at=asked_at,
+                answered_at=self.engine.kernel.now(),
+                consistency=consistency,
+            )
+
+        if callback is None:
+            return answer()
+        self.engine.kernel.call_after(self.query_latency, lambda: callback(answer()))
+        return None
+
+    # ------------------------------------------------------------------
+    def query_all(
+        self, node_name: str, descriptor: StateDescriptor, consistency: str = "snapshot"
+    ) -> dict[Any, Any]:
+        """Scatter-gather over every partition (a full "state table" view)."""
+        out: dict[Any, Any] = {}
+        for task in self.engine.tasks_of(node_name):
+            if task.dead:
+                continue
+            for key in task.state_backend.keys(descriptor):
+                value = task.state_backend.get(descriptor, key)
+                if consistency == "snapshot" and value is not None:
+                    value = descriptor.serde.copy(value)
+                out[key] = value
+        self.queries_served += 1
+        return out
+
+
+class StateView:
+    """A named, continuously-readable view over one descriptor — the
+    "subscribe to intermediate views of state" pattern for app
+    interoperability (two apps share derived state without new topics)."""
+
+    def __init__(
+        self,
+        service: QueryableStateService,
+        node_name: str,
+        descriptor: StateDescriptor,
+        refresh_interval: float = 0.1,
+    ) -> None:
+        self.service = service
+        self.node_name = node_name
+        self.descriptor = descriptor
+        self.refresh_interval = refresh_interval
+        self.versions: list[tuple[float, dict[Any, Any]]] = []
+        self._timer = None
+
+    def start(self) -> None:
+        """Begin periodic refreshes of the view."""
+        from repro.sim.kernel import PeriodicTimer
+
+        engine = self.service.engine
+
+        def refresh() -> None:
+            if engine.job_finished:
+                self.stop()
+                return
+            self.versions.append(
+                (engine.kernel.now(), self.service.query_all(self.node_name, self.descriptor))
+            )
+
+        self._timer = PeriodicTimer(engine.kernel, self.refresh_interval, refresh)
+
+    def stop(self) -> None:
+        """Cancel refreshes."""
+        if self._timer is not None:
+            self._timer.cancel()
+
+    def latest(self) -> dict[Any, Any]:
+        """The most recent materialized version (empty before the first refresh)."""
+        return self.versions[-1][1] if self.versions else {}

@@ -1,0 +1,26 @@
+"""Physical runtime: tasks, channels, engine, metrics, configuration."""
+
+from repro.runtime.channel import OutputGate, PhysicalChannel, make_partition_filter
+from repro.runtime.config import CheckpointConfig, CheckpointMode, EngineConfig, GuaranteeLevel
+from repro.runtime.engine import CheckpointRecord, Engine, JobResult
+from repro.runtime.metrics import JobMetrics, TaskMetrics
+from repro.runtime.task import SourceTask, Task, TaskContext, TaskSnapshot
+
+__all__ = [
+    "CheckpointConfig",
+    "CheckpointMode",
+    "CheckpointRecord",
+    "Engine",
+    "EngineConfig",
+    "GuaranteeLevel",
+    "JobMetrics",
+    "JobResult",
+    "OutputGate",
+    "PhysicalChannel",
+    "SourceTask",
+    "Task",
+    "TaskContext",
+    "TaskMetrics",
+    "TaskSnapshot",
+    "make_partition_filter",
+]

@@ -1,0 +1,173 @@
+"""Physical channels: partitioned, FIFO, latency-modelled, credit-controlled.
+
+A logical edge expands into one :class:`OutputGate` per sender subtask; the
+gate partitions each element (forward/hash/rebalance/broadcast) onto
+:class:`PhysicalChannel` objects, one per (sender subtask, receiver subtask)
+pair. Channels are FIFO — like the TCP links of real engines — so disorder
+only arises from *merging* channels and from event-time skew, never from a
+single link reordering. Credit-based flow control (survey §3.3 backpressure)
+is per physical channel: senders block when a receiver stops returning
+credits, and the stall propagates upstream to the sources.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core.events import Record, StreamElement
+from repro.core.graph import ChannelSpec, Partitioning
+from repro.core.keys import subtask_for_key
+from repro.errors import BackpressureError
+from repro.sim.kernel import Kernel
+from repro.sim.random import SimRandom
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.task import Task
+
+
+class PhysicalChannel:
+    """One FIFO link between a sender subtask and a receiver subtask."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        spec: ChannelSpec,
+        receiver: "Task",
+        receiver_channel_index: int,
+        rng: SimRandom,
+        sender: "Task | None" = None,
+    ) -> None:
+        self._kernel = kernel
+        self.spec = spec
+        self.receiver = receiver
+        self.receiver_channel_index = receiver_channel_index
+        self.sender = sender
+        self._rng = rng
+        self._last_delivery = 0.0
+        self.credits = spec.capacity  # None = unbounded
+        self._backlog: deque[StreamElement] = deque()
+        self.sent = 0
+        self.delivered = 0
+
+    # ------------------------------------------------------------------
+    def send(self, element: StreamElement) -> bool:
+        """Dispatch an element toward the receiver.
+
+        Returns True if it was sent immediately, False if it was parked in
+        the sender-side backlog because the channel is out of credits (the
+        caller should block until :meth:`is_clear`).
+        """
+        if self.credits is None:
+            self._schedule_delivery(element)
+            return True
+        if self.credits > 0 and not self._backlog:
+            self.credits -= 1
+            self._schedule_delivery(element)
+            return True
+        self._backlog.append(element)
+        return False
+
+    def _schedule_delivery(self, element: StreamElement) -> None:
+        jitter = self._rng.uniform(0.0, self.spec.jitter) if self.spec.jitter > 0 else 0.0
+        arrival = self._kernel.now() + self.spec.latency + jitter
+        # FIFO enforcement: never deliver before what was already scheduled.
+        arrival = max(arrival, self._last_delivery)
+        self._last_delivery = arrival
+        self.sent += 1
+        self._kernel.call_at(arrival, lambda: self._deliver(element))
+
+    def _deliver(self, element: StreamElement) -> None:
+        self.delivered += 1
+        self.receiver.deliver(self.receiver_channel_index, element, via=self)
+
+    # ------------------------------------------------------------------
+    def return_credit(self) -> None:
+        """Receiver finished one element; free a slot and drain the backlog."""
+        if self.credits is None:
+            return
+        if self._backlog:
+            # Slot goes straight to the oldest parked element.
+            self._schedule_delivery(self._backlog.popleft())
+            if not self._backlog and self.sender is not None:
+                self.sender.output_unblocked()
+        else:
+            self.credits += 1
+            if self.spec.capacity is not None and self.credits > self.spec.capacity:
+                raise BackpressureError(
+                    f"credit overflow: {self.credits} > capacity {self.spec.capacity}"
+                )
+            if self.sender is not None:
+                self.sender.output_unblocked()
+
+    @property
+    def is_clear(self) -> bool:
+        """True when the sender may keep producing (no parked elements)."""
+        return not self._backlog
+
+    @property
+    def backlog_size(self) -> int:
+        return len(self._backlog)
+
+
+class OutputGate:
+    """Sender-side fan-out for one logical edge: partitions elements over the
+    physical channels; control elements are always broadcast."""
+
+    def __init__(
+        self,
+        partitioning: Partitioning,
+        channels: list[PhysicalChannel],
+        max_parallelism: int,
+    ) -> None:
+        self.partitioning = partitioning
+        self.channels = channels
+        self._max_parallelism = max_parallelism
+        self._round_robin = 0
+
+    def targets_for(self, element: StreamElement) -> list[PhysicalChannel]:
+        """Channels this element routes to under the gate's partitioning."""
+        if not isinstance(element, Record) or self.partitioning is Partitioning.BROADCAST:
+            return self.channels
+        if len(self.channels) == 1:
+            return [self.channels[0]]
+        if self.partitioning is Partitioning.HASH:
+            index = subtask_for_key(element.key, len(self.channels), self._max_parallelism)
+            return [self.channels[index]]
+        if self.partitioning is Partitioning.REBALANCE:
+            index = self._round_robin % len(self.channels)
+            self._round_robin += 1
+            return [self.channels[index]]
+        # FORWARD with parallelism > 1 is expanded per-subtask at plan time,
+        # so a gate only ever holds the single matching channel.
+        return [self.channels[0]]
+
+    def emit(self, element: StreamElement) -> bool:
+        """Send to all chosen channels; False if any channel backlogged."""
+        clear = True
+        for channel in self.targets_for(element):
+            if not channel.send(element):
+                clear = False
+        return clear
+
+    @property
+    def is_clear(self) -> bool:
+        return all(c.is_clear for c in self.channels)
+
+    def total_backlog(self) -> int:
+        """Parked elements across all channels (pressure metric)."""
+        return sum(c.backlog_size for c in self.channels)
+
+
+def make_partition_filter(
+    partitioning: Partitioning, subtask_index: int, parallelism: int, max_parallelism: int
+) -> Callable[[Any], bool]:
+    """Predicate: does a key belong to this subtask under this partitioning?
+    Used by rescaling/migration to decide which state moves."""
+    if partitioning is not Partitioning.HASH:
+        return lambda _key: True
+
+    def owns(key: Any) -> bool:
+        return subtask_for_key(key, parallelism, max_parallelism) == subtask_index
+
+    return owns

@@ -1,0 +1,76 @@
+"""Engine configuration.
+
+One dataclass gathers every knob the experiments sweep: cost model, network
+model, flow control, checkpointing, and processing guarantees. The
+generation profiles (:mod:`repro.generations`) are thin factories over this.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.graph import ChannelSpec
+from repro.core.keys import DEFAULT_MAX_PARALLELISM
+from repro.state.api import KeyedStateBackend
+from repro.state.memory import InMemoryStateBackend
+
+
+class CheckpointMode(enum.Enum):
+    """How barriers interact with channels (survey §3.1/§3.2)."""
+
+    ALIGNED = "aligned"  # exactly-once state: block channels until aligned
+    UNALIGNED = "unaligned"  # at-least-once state: never block
+
+
+class GuaranteeLevel(enum.Enum):
+    """End-to-end processing guarantee the job is configured for."""
+
+    AT_MOST_ONCE = "at-most-once"  # no replay: lose in-flight work on failure
+    AT_LEAST_ONCE = "at-least-once"  # replay from snapshot, duplicates possible
+    EXACTLY_ONCE = "exactly-once"  # aligned snapshots + transactional sinks
+
+
+@dataclass
+class CheckpointConfig:
+    interval: float = 1.0
+    mode: CheckpointMode = CheckpointMode.ALIGNED
+    #: virtual seconds to persist one byte of snapshot to durable storage
+    write_cost_per_byte: float = 2e-9
+    #: fixed round-trip to durable storage per snapshot
+    write_base_cost: float = 5e-3
+    #: incremental: snapshot only entries changed since the last checkpoint
+    incremental: bool = False
+
+
+@dataclass
+class EngineConfig:
+    seed: int = 0
+    #: default virtual CPU seconds per element for operators that don't set one
+    default_processing_cost: float = 2e-5
+    #: cost charged per fired timer
+    timer_cost: float = 5e-6
+    #: default network model for edges without an explicit ChannelSpec
+    default_channel: ChannelSpec = field(default_factory=lambda: ChannelSpec(latency=1e-4, jitter=2e-5))
+    #: per-channel credit capacity applied when an edge doesn't set one and
+    #: flow control is enabled
+    flow_control: bool = False
+    default_channel_capacity: int = 64
+    max_parallelism: int = DEFAULT_MAX_PARALLELISM
+    state_backend_factory: Callable[[], KeyedStateBackend] = InMemoryStateBackend
+    checkpoints: CheckpointConfig | None = None
+    guarantee: GuaranteeLevel = GuaranteeLevel.AT_LEAST_ONCE
+    #: sample task metrics (queue lengths, utilization) every interval;
+    #: required by the elasticity controller
+    metrics_interval: float | None = None
+    #: how long after the last source finishes to keep draining (virtual s)
+    drain_grace: float = 0.0
+
+    def channel_for(self, spec: ChannelSpec | None) -> ChannelSpec:
+        """Resolve an edge's channel spec against the defaults."""
+        base = spec or self.default_channel
+        capacity = base.capacity
+        if capacity is None and self.flow_control:
+            capacity = self.default_channel_capacity
+        return ChannelSpec(latency=base.latency, jitter=base.jitter, capacity=capacity)

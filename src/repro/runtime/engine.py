@@ -1,0 +1,444 @@
+"""The execution engine: physical planning, checkpointing, recovery.
+
+``Engine`` expands a :class:`~repro.core.graph.StreamGraph` into tasks and
+channels on the DES kernel, runs it, and exposes the control-plane
+primitives the fault-tolerance / load-management packages orchestrate:
+trigger checkpoints, kill tasks, restore from snapshots, rewind sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.events import CheckpointBarrier, StreamElement
+from repro.core.graph import LogicalNode, Partitioning, StreamGraph
+from repro.core.operators.basic import SinkOperator
+from repro.errors import CheckpointError, GraphError, RecoveryError, RuntimeStateError
+from repro.io.sinks import TransactionalSink
+from repro.progress.watermarks import NoWatermarks, WatermarkStrategy
+from repro.runtime.channel import OutputGate, PhysicalChannel
+from repro.runtime.config import CheckpointMode, EngineConfig
+from repro.runtime.metrics import JobMetrics
+from repro.runtime.task import SourceTask, Task, TaskSnapshot
+from repro.sim.kernel import Kernel, PeriodicTimer
+from repro.sim.random import SimRandom
+
+
+@dataclass
+class CheckpointRecord:
+    checkpoint_id: int
+    triggered_at: float
+    snapshots: dict[str, TaskSnapshot] = field(default_factory=dict)
+    completed_at: float | None = None
+
+    @property
+    def complete(self) -> bool:
+        return self.completed_at is not None
+
+    def total_bytes(self) -> int:
+        """Snapshot volume across all tasks."""
+        return sum(s.size_bytes() for s in self.snapshots.values())
+
+
+class JobResult:
+    """Handle over a finished (or paused) execution."""
+
+    def __init__(self, engine: "Engine") -> None:
+        self._engine = engine
+
+    def sink(self, name: str) -> Any:
+        """Look up a sink by name."""
+        return self._engine.sinks[name]
+
+    @property
+    def sinks(self) -> dict[str, Any]:
+        return self._engine.sinks
+
+    @property
+    def metrics(self) -> JobMetrics:
+        return self._engine.metrics
+
+    @property
+    def duration(self) -> float:
+        return self._engine.kernel.now()
+
+    @property
+    def finished(self) -> bool:
+        return self._engine.job_finished
+
+    def side_output(self, task_prefix: str, tag: str) -> list[StreamElement]:
+        """Side-output elements for (task prefix, tag)."""
+        out = []
+        for (task_name, side_tag), elements in self._engine.side_outputs.items():
+            if side_tag == tag and task_name.startswith(task_prefix):
+                out.extend(elements)
+        return out
+
+
+class Engine:
+    """Executes one job on a dedicated DES kernel."""
+
+    def __init__(self, graph: StreamGraph, config: EngineConfig | None = None) -> None:
+        self.graph = graph
+        self.config = config or EngineConfig()
+        self.kernel = Kernel()
+        self.rng = SimRandom(self.config.seed, f"engine/{graph.name}")
+        self.metrics = JobMetrics()
+        self.tasks: dict[str, Task] = {}
+        self.node_tasks: dict[int, list[Task]] = {}
+        self.sinks: dict[str, Any] = {}
+        self.side_outputs: dict[tuple[str, str], list[StreamElement]] = {}
+        self.checkpoints: dict[int, CheckpointRecord] = {}
+        self.completed_checkpoints: list[int] = []
+        self._next_checkpoint_id = 1
+        self._pending_checkpoint: CheckpointRecord | None = None
+        self._coordinator_timer: PeriodicTimer | None = None
+        self._sampler_timer: PeriodicTimer | None = None
+        self.job_finished = False
+        self._started = False
+        self._expected_snapshot_count = 0
+        #: edge-index → {sender task name → OutputGate}; maintained for
+        #: dynamic rewiring (rescaling, dynamic topologies)
+        self.edge_gates: dict[int, dict[str, OutputGate]] = {}
+        graph.validate()
+        self._build()
+
+    # ------------------------------------------------------------------
+    # physical planning
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        order = self.graph.topological_order()
+        for node in order:
+            self.node_tasks[node.node_id] = [
+                self._make_task(node, index) for index in range(node.parallelism)
+            ]
+            for task in self.node_tasks[node.node_id]:
+                self.tasks[task.name] = task
+        for edge_index, edge in enumerate(self.graph.edges):
+            self._wire_edge(edge, edge_index)
+        # Register sinks by scanning for SinkOperator instances.
+        for task in self.tasks.values():
+            operator = task.operator
+            if isinstance(operator, SinkOperator):
+                sink = operator.sink
+                name = getattr(sink, "name", task.name)
+                self.sinks.setdefault(name, sink)
+
+    def _make_task(self, node: LogicalNode, index: int) -> Task:
+        name = f"{node.name}[{index}]"
+        metrics = self.metrics.for_task(name)
+        if node.is_source:
+            workload = node.options.get("workload")
+            if workload is None:
+                raise GraphError(f"source node {node.name!r} lacks options['workload']")
+            strategy: WatermarkStrategy = node.options.get("watermarks") or NoWatermarks()
+            return SourceTask(
+                self.kernel,
+                name,
+                workload=workload,
+                watermark_strategy=strategy.fresh(),
+                bounded=node.options.get("bounded", True),
+                heartbeat_interval=node.options.get("heartbeat_interval"),
+                metrics=metrics,
+                engine=self,
+                subtask_index=index,
+                parallelism=node.parallelism,
+            )
+        backend_factory = node.state_backend_factory or self.config.state_backend_factory
+        task = Task(
+            self.kernel,
+            name,
+            operator=node.new_operator(),
+            state_backend=backend_factory(),
+            subtask_index=index,
+            parallelism=node.parallelism,
+            processing_cost=(
+                node.processing_cost
+                if node.processing_cost is not None
+                else self.config.default_processing_cost
+            ),
+            timer_cost=self.config.timer_cost,
+            metrics=metrics,
+            engine=self,
+        )
+        if (
+            self.config.checkpoints is not None
+            and self.config.checkpoints.mode is CheckpointMode.UNALIGNED
+        ):
+            task.align_unaligned = True
+        return task
+
+    def _wire_edge(self, edge, edge_index: int) -> None:
+        spec = self.config.channel_for(edge.channel)
+        senders = self.node_tasks[edge.source_id]
+        receivers = self.node_tasks[edge.target_id]
+        gates = self.edge_gates.setdefault(edge_index, {})
+        for sender in senders:
+            if edge.partitioning is Partitioning.FORWARD:
+                targets = [receivers[sender.subtask_index]]
+            else:
+                targets = receivers
+            channels = [self.make_channel(spec, sender, receiver, edge.is_feedback) for receiver in targets]
+            gate = OutputGate(edge.partitioning, channels, self.config.max_parallelism)
+            sender.attach_output(gate)
+            gates[sender.name] = gate
+
+    def make_channel(self, spec, sender, receiver, is_feedback: bool = False) -> PhysicalChannel:
+        """Create and register one physical link (also used by dynamic
+        rewiring: rescaling and runtime-spawned operators)."""
+        channel_index = receiver.register_input_channel(is_feedback=is_feedback)
+        return PhysicalChannel(
+            self.kernel,
+            spec,
+            receiver,
+            channel_index,
+            self.rng.fork(f"ch/{sender.name}->{receiver.name}"),
+            sender=sender,
+        )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Open operators, start services, then start sources."""
+        if self._started:
+            raise RuntimeStateError("engine already started")
+        self._started = True
+        order = self.graph.topological_order()
+        for node in order:
+            if not node.is_source:
+                for task in self.node_tasks[node.node_id]:
+                    task.start()
+        if self.config.checkpoints is not None:
+            self._coordinator_timer = PeriodicTimer(
+                self.kernel, self.config.checkpoints.interval, self.trigger_checkpoint
+            )
+        if self.config.metrics_interval is not None:
+            self._sampler_timer = PeriodicTimer(
+                self.kernel, self.config.metrics_interval, self._sample_metrics
+            )
+        for node in order:
+            if node.is_source:
+                for task in self.node_tasks[node.node_id]:
+                    task.start()
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> JobResult:
+        """Start if needed and drive the kernel; returns a :class:`JobResult`."""
+        if not self._started:
+            self.start()
+        self.kernel.run(until=until, max_events=max_events)
+        return JobResult(self)
+
+    def run_until_quiescent(self, horizon: float = 1e9) -> JobResult:
+        """Run with a generous horizon (bounded jobs drain on their own)."""
+        return self.run(until=horizon)
+
+    # ------------------------------------------------------------------
+    # engine callbacks from tasks
+    # ------------------------------------------------------------------
+    def on_task_finished(self, task: Task) -> None:
+        """Task callback: mark the job finished when every task is done."""
+        if all(t.finished or t.dead for t in self.tasks.values()):
+            self.job_finished = True
+            self._cancel_services()
+
+    def on_side_output(self, task_name: str, tag: str, element: StreamElement) -> None:
+        """Task callback: collect a side-output element."""
+        self.side_outputs.setdefault((task_name, tag), []).append(element)
+
+    def _cancel_services(self) -> None:
+        if self._coordinator_timer is not None:
+            self._coordinator_timer.cancel()
+        if self._sampler_timer is not None:
+            self._sampler_timer.cancel()
+
+    def _sample_metrics(self) -> None:
+        now = self.kernel.now()
+        for task in self.tasks.values():
+            task.metrics.queue_samples.append((now, task.mailbox_size))
+
+    # ------------------------------------------------------------------
+    # checkpoint coordination
+    # ------------------------------------------------------------------
+    def trigger_checkpoint(self) -> int | None:
+        """Inject barriers at all sources; returns the checkpoint id."""
+        if self.job_finished:
+            return None
+        if self._pending_checkpoint is not None:
+            # Previous checkpoint still in flight: skip this trigger (the
+            # behaviour of real coordinators under a min-pause policy).
+            return None
+        checkpoint_id = self._next_checkpoint_id
+        self._next_checkpoint_id += 1
+        record = CheckpointRecord(checkpoint_id, self.kernel.now())
+        self.checkpoints[checkpoint_id] = record
+        self._pending_checkpoint = record
+        self._expected_snapshot_count = sum(
+            1 for t in self.tasks.values() if not t.dead and not t.finished
+        )
+        barrier = CheckpointBarrier(checkpoint_id, self.kernel.now())
+        for task in self.tasks.values():
+            if isinstance(task, SourceTask) and not task.dead and not task.finished:
+                snapshot = task.take_snapshot(checkpoint_id)
+                self.on_task_snapshot(task, snapshot, source=True)
+                task.collect_output(barrier)
+                task._flush_outputs()
+        return checkpoint_id
+
+    def on_task_snapshot(self, task: Task, snapshot: TaskSnapshot, source: bool = False) -> None:
+        """Task callback: gather a snapshot into the pending checkpoint."""
+        record = self._pending_checkpoint
+        if record is None or snapshot.checkpoint_id not in self.checkpoints:
+            return
+        record = self.checkpoints[snapshot.checkpoint_id]
+        record.snapshots[task.name] = snapshot
+        if len(record.snapshots) >= self._expected_snapshot_count:
+            self._finalize_checkpoint(record)
+
+    def _finalize_checkpoint(self, record: CheckpointRecord) -> None:
+        cfg = self.config.checkpoints
+        persist_cost = cfg.write_base_cost + record.total_bytes() * cfg.write_cost_per_byte
+
+        def complete() -> None:
+            record.completed_at = self.kernel.now()
+            self.completed_checkpoints.append(record.checkpoint_id)
+            for sink in self.sinks.values():
+                if isinstance(sink, TransactionalSink):
+                    sink.on_checkpoint_complete(record.checkpoint_id)
+
+        self.kernel.call_after(persist_cost, complete)
+        self._pending_checkpoint = None
+
+    def latest_checkpoint(self) -> CheckpointRecord | None:
+        """The most recent completed checkpoint record, if any."""
+        if not self.completed_checkpoints:
+            return None
+        return self.checkpoints[self.completed_checkpoints[-1]]
+
+    # ------------------------------------------------------------------
+    # failure & recovery primitives
+    # ------------------------------------------------------------------
+    def kill_task(self, task_name: str) -> None:
+        """Fail-stop one task (aborts any in-flight checkpoint)."""
+        task = self.tasks.get(task_name)
+        if task is None:
+            raise RecoveryError(f"unknown task {task_name!r}")
+        task.kill()
+        if self._pending_checkpoint is not None:
+            # In-flight checkpoint can never complete: abort it.
+            self.checkpoints.pop(self._pending_checkpoint.checkpoint_id, None)
+            self._pending_checkpoint = None
+
+    def node_of(self, task: Task) -> LogicalNode:
+        """The logical node a task belongs to."""
+        for node_id, tasks in self.node_tasks.items():
+            if task in tasks:
+                return self.graph.nodes[node_id]
+        raise RuntimeStateError(f"task {task.name} not in plan")
+
+    def restore_latency(self, snapshot_bytes: int) -> float:
+        """Virtual time to pull a snapshot from durable storage."""
+        cfg = self.config.checkpoints
+        if cfg is None:
+            return 0.0
+        return cfg.write_base_cost + snapshot_bytes * cfg.write_cost_per_byte
+
+    def recover_from_checkpoint(self, checkpoint_id: int | None = None) -> float:
+        """Global restart from a completed checkpoint (Flink-style).
+
+        Kills every task, restores all state, rewinds sources, and resumes.
+        Returns the virtual time at which processing resumed.
+        """
+        if self.job_finished:
+            raise RuntimeStateError(
+                "job already finished: its results are committed; recovering "
+                "now would re-run the pipeline and duplicate output"
+            )
+        record = (
+            self.checkpoints.get(checkpoint_id)
+            if checkpoint_id is not None
+            else self.latest_checkpoint()
+        )
+        if record is None or not record.complete:
+            raise CheckpointError("no completed checkpoint to recover from")
+        for task in self.tasks.values():
+            if not task.dead:
+                task.kill()
+        restore_delay = self.restore_latency(record.total_bytes())
+        resume_at = self.kernel.now() + restore_delay
+        self.kernel.call_at(resume_at, lambda: self._do_restore(record))
+        return resume_at
+
+    def _do_restore(self, record: CheckpointRecord) -> None:
+        for sink in self.sinks.values():
+            if isinstance(sink, TransactionalSink):
+                sink.on_recovery()
+        for node_id, tasks in self.node_tasks.items():
+            node = self.graph.nodes[node_id]
+            for task in tasks:
+                snapshot = record.snapshots.get(task.name)
+                if isinstance(task, SourceTask):
+                    task.reincarnate()
+                    task.restore_snapshot(snapshot)
+                else:
+                    backend = None
+                    if not task.state_backend.survives_task_failure:
+                        factory = node.state_backend_factory or self.config.state_backend_factory
+                        backend = factory()
+                    task.reincarnate(node.new_operator(), backend)
+                    task.restore_snapshot(snapshot)
+        for tasks in self.node_tasks.values():
+            for task in tasks:
+                if isinstance(task, SourceTask):
+                    task.restart_emission()
+
+    def recover_without_replay(self) -> None:
+        """At-most-once recovery: dead tasks come back empty and sources
+        continue from their *current* position (no rewind)."""
+        for node_id, tasks in self.node_tasks.items():
+            node = self.graph.nodes[node_id]
+            for task in tasks:
+                if not task.dead:
+                    continue
+                if isinstance(task, SourceTask):
+                    task.reincarnate()
+                    task._next_arrival = self.kernel.now()
+                    task.restart_emission()
+                else:
+                    backend = None
+                    if not task.state_backend.survives_task_failure:
+                        factory = node.state_backend_factory or self.config.state_backend_factory
+                        backend = factory()
+                    task.reincarnate(node.new_operator(), backend)
+
+    # ------------------------------------------------------------------
+    def tasks_of(self, node_name: str) -> list[Task]:
+        """All subtasks of a logical node, by name."""
+        node = self.graph.node_by_name(node_name)
+        return self.node_tasks[node.node_id]
+
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.kernel.now()
+
+    def describe(self) -> str:
+        """Human-readable physical plan: nodes, parallelism, edges, channels."""
+        lines = [f"job {self.graph.name!r}"]
+        for node in self.graph.topological_order():
+            tasks = self.node_tasks.get(node.node_id, [])
+            kind = "source" if node.is_source else type(tasks[0].operator).__name__ if tasks else "?"
+            lines.append(f"  {node.name} [{kind}] x{len(tasks)}")
+            for edge in self.graph.outputs_of(node.node_id):
+                target = self.graph.nodes[edge.target_id]
+                spec = self.config.channel_for(edge.channel)
+                feedback = " (feedback)" if edge.is_feedback else ""
+                capacity = spec.capacity if spec.capacity is not None else "unbounded"
+                lines.append(
+                    f"    -> {target.name} [{edge.partitioning.value}] "
+                    f"latency={spec.latency:g}s capacity={capacity}{feedback}"
+                )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Engine({self.graph.name!r}, tasks={len(self.tasks)}, now={self.now():.3f})"

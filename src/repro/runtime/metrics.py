@@ -1,0 +1,95 @@
+"""Runtime metrics: the observability layer load management depends on.
+
+The elasticity controller (survey §3.3, DS2-style) needs *useful time* per
+operator — the fraction of time a task spends doing work rather than waiting
+— plus observed input/output rates. Tasks update their
+:class:`TaskMetrics` inline; an optional periodic sampler records queue
+lengths for backpressure detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TaskMetrics:
+    task_name: str = ""
+    records_in: int = 0
+    records_out: int = 0
+    watermarks_in: int = 0
+    timers_fired: int = 0
+    busy_time: float = 0.0
+    blocked_time: float = 0.0
+    state_reads: int = 0
+    state_writes: int = 0
+    dropped: int = 0
+    #: (virtual time, mailbox length) samples
+    queue_samples: list[tuple[float, int]] = field(default_factory=list)
+    started_at: float = 0.0
+    finished_at: float | None = None
+    failures: int = 0
+    restored_at: list[float] = field(default_factory=list)
+
+    def utilization(self, now: float) -> float:
+        """Busy fraction of lifetime so far (the DS2 'useful time' proxy)."""
+        elapsed = (self.finished_at or now) - self.started_at
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+    def true_processing_rate(self) -> float:
+        """Records the task could process per busy second — DS2's key input."""
+        if self.busy_time <= 0:
+            return 0.0
+        return self.records_in / self.busy_time
+
+    def observed_rate(self, now: float) -> float:
+        """Records consumed per second of lifetime."""
+        elapsed = (self.finished_at or now) - self.started_at
+        if elapsed <= 0:
+            return 0.0
+        return self.records_in / elapsed
+
+    def mean_queue_length(self, since: float = 0.0) -> float:
+        """Average sampled mailbox length since ``since``."""
+        samples = [q for t, q in self.queue_samples if t >= since]
+        if not samples:
+            return 0.0
+        return sum(samples) / len(samples)
+
+
+@dataclass
+class JobMetrics:
+    """Aggregated view over all tasks, grouped by logical operator."""
+
+    tasks: dict[str, TaskMetrics] = field(default_factory=dict)
+
+    def for_task(self, name: str) -> TaskMetrics:
+        """Get (or create) one task's metrics record."""
+        if name not in self.tasks:
+            self.tasks[name] = TaskMetrics(task_name=name)
+        return self.tasks[name]
+
+    def by_operator(self) -> dict[str, list[TaskMetrics]]:
+        """Task metrics grouped by logical operator name."""
+        grouped: dict[str, list[TaskMetrics]] = {}
+        for name, metrics in self.tasks.items():
+            operator = name.rsplit("[", 1)[0]
+            grouped.setdefault(operator, []).append(metrics)
+        return grouped
+
+    def total_records_in(self, operator: str) -> int:
+        """Records consumed by all subtasks of an operator."""
+        return sum(m.records_in for m in self.by_operator().get(operator, []))
+
+    def total_dropped(self) -> int:
+        """Records dropped across the whole job."""
+        return sum(m.dropped for m in self.tasks.values())
+
+    def operator_utilization(self, operator: str, now: float) -> float:
+        """Mean busy fraction across an operator's subtasks."""
+        group = self.by_operator().get(operator, [])
+        if not group:
+            return 0.0
+        return sum(m.utilization(now) for m in group) / len(group)

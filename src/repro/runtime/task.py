@@ -1,0 +1,973 @@
+"""Tasks: the unit of parallel execution, failure, and recovery.
+
+A :class:`Task` is one parallel instance of a logical operator. It owns a
+mailbox fed by input channels, a keyed state backend, timers, and its output
+gates. The survey's system aspects all meet here:
+
+* cost model — each element charges virtual CPU plus state-access latency,
+  so queueing delay and backpressure *emerge* rather than being scripted;
+* watermark merging and event-time timers (§2.2/§2.3);
+* aligned checkpoint barriers (§3.1/§3.2, Chandy-Lamport as used by Flink);
+* fail-stop kill / restore with incarnation guards (§3.2);
+* credit-based output blocking (§3.3 backpressure).
+
+:class:`SourceTask` drives a :class:`~repro.io.sources.Workload`, applies a
+watermark strategy, and supports offset rewind for exactly-once recovery.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.core.events import (
+    MAX_TIMESTAMP,
+    CheckpointBarrier,
+    EndOfStream,
+    Heartbeat,
+    Punctuation,
+    Record,
+    StreamElement,
+    Watermark,
+)
+from repro.core.operators.base import Operator, OperatorContext
+from repro.errors import RuntimeStateError
+from repro.progress.watermarks import WatermarkMerger, WatermarkStrategy
+from repro.runtime.channel import OutputGate
+from repro.runtime.metrics import TaskMetrics
+from repro.sim.kernel import Kernel, PeriodicTimer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.io.sources import Workload
+    from repro.state.api import KeyedStateBackend
+
+
+@dataclass
+class TaskSnapshot:
+    """Everything needed to reincarnate a task at a checkpoint."""
+
+    task_name: str
+    checkpoint_id: int
+    keyed_state: dict[str, dict[Any, bytes]]
+    operator_state: Any
+    timers: list[tuple[float, Any, Any]]
+    watermark: float
+    source_offset: int | None = None
+    taken_at: float = 0.0
+
+    def size_bytes(self) -> int:
+        """Approximate snapshot volume (drives recovery-cost models)."""
+        total = sum(
+            len(data) + 16 for entries in self.keyed_state.values() for data in entries.values()
+        )
+        total += 64  # headers, operator state envelope
+        return total
+
+
+@dataclass
+class _ProcTimer:
+    timestamp: float
+    key: Any
+    payload: Any
+    fired: bool = False
+
+
+@dataclass
+class _MailboxItem:
+    channel_index: int
+    element: StreamElement | _ProcTimer
+    #: the physical channel that delivered this element; its credit is
+    #: returned when processing completes (None for local injections)
+    via: Any = None
+
+
+class TaskContext(OperatorContext):
+    """Concrete operator context bound to one task."""
+
+    def __init__(self, task: "Task") -> None:
+        self._task = task
+        self.current_key_value: Any = None
+        self._extra_cost = 0.0
+
+    # --- identity -------------------------------------------------------
+    @property
+    def task_name(self) -> str:
+        return self._task.name
+
+    @property
+    def subtask_index(self) -> int:
+        return self._task.subtask_index
+
+    @property
+    def parallelism(self) -> int:
+        return self._task.parallelism
+
+    # --- output ---------------------------------------------------------
+    def emit(self, element: StreamElement) -> None:
+        self._task.collect_output(element)
+
+    def emit_watermark(self, timestamp: float) -> None:
+        """Emit a watermark with the given timestamp."""
+        self._task.collect_output(Watermark(timestamp))
+
+    def emit_to(self, tag: str, element: StreamElement) -> None:
+        self._task.collect_side_output(tag, element)
+
+    # --- time -----------------------------------------------------------
+    def processing_time(self) -> float:
+        return self._task.kernel.now()
+
+    def current_watermark(self) -> float:
+        return self._task.current_watermark
+
+    def register_event_timer(self, timestamp: float, payload: Any = None) -> None:
+        self._task.register_event_timer(timestamp, self.current_key_value, payload)
+
+    def register_processing_timer(self, timestamp: float, payload: Any = None) -> None:
+        self._task.register_processing_timer(timestamp, self.current_key_value, payload)
+
+    # --- state ----------------------------------------------------------
+    @property
+    def current_key(self) -> Any:
+        return self.current_key_value
+
+    def state(self, descriptor) -> Any:
+        return self._task.state_backend.handle(descriptor, self.current_key_value)
+
+    def operator_state(self, name: str, default: Any = None) -> Any:
+        return self._task.operator_store.get(name, default)
+
+    def set_operator_state(self, name: str, value: Any) -> None:
+        self._task.operator_store[name] = value
+
+    # --- cost injection ---------------------------------------------------
+    def add_cost(self, seconds: float) -> None:
+        """Charge extra virtual processing time for the current element
+        (models external RPCs, accelerator kernels, etc.)."""
+        self._extra_cost += seconds
+
+    def drain_extra_cost(self) -> float:
+        """Return and reset cost added via :meth:`add_cost` (runtime use)."""
+        cost, self._extra_cost = self._extra_cost, 0.0
+        return cost
+
+
+class Task:
+    """One parallel subtask executing an operator instance."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str,
+        operator: Operator,
+        state_backend: "KeyedStateBackend",
+        subtask_index: int = 0,
+        parallelism: int = 1,
+        processing_cost: float = 2e-5,
+        timer_cost: float = 5e-6,
+        metrics: TaskMetrics | None = None,
+        engine: Any = None,
+    ) -> None:
+        self.kernel = kernel
+        self.name = name
+        self.operator = operator
+        self.state_backend = state_backend
+        self.subtask_index = subtask_index
+        self.parallelism = parallelism
+        self.processing_cost = (
+            operator.processing_cost if operator.processing_cost is not None else processing_cost
+        )
+        self.timer_cost = timer_cost
+        self.metrics = metrics or TaskMetrics(task_name=name)
+        self.engine = engine
+
+        self.ctx = TaskContext(self)
+        self.operator_store: dict[str, Any] = {}
+        self.output_gates: list[OutputGate] = []
+        self.input_channel_count = 0
+        self._feedback_channels: set[int] = set()
+        self._merger = WatermarkMerger(0)
+        self._merger_slots: dict[int, int] = {}
+
+        self._mailbox: list[_MailboxItem] = []
+        self._busy = False
+        self._output_blocked = False
+        self._blocked_since: float | None = None
+        self._pending_output: list[StreamElement] = []
+        self._side_pending: list[tuple[str, StreamElement]] = []
+
+        self._event_timers: list[tuple[float, int, Any, Any]] = []
+        self._timer_seq = itertools.count()
+        self._pending_proc_timers: set[int] = set()
+        self._proc_timer_registry: dict[int, _ProcTimer] = {}
+
+        self._eos_channels: set[int] = set()
+        self.finished = False
+        self.dead = False
+        self.incarnation = 0
+
+        # checkpoint alignment
+        self._align_id: int | None = None
+        self._align_seen: set[int] = set()
+        self._align_buffer: list[_MailboxItem] = []
+        self._blocked_inputs: set[int] = set()
+        self.last_snapshot: TaskSnapshot | None = None
+        self.align_unaligned = False  # True → at-least-once (no blocking)
+
+        self.current_watermark = float("-inf")
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach_output(self, gate: OutputGate) -> None:
+        """Wire an output gate (one per outgoing logical edge)."""
+        self.output_gates.append(gate)
+
+    def register_input_channel(self, is_feedback: bool = False) -> int:
+        """Allocate the next input channel index; returns it."""
+        index = self.input_channel_count
+        self.input_channel_count += 1
+        if is_feedback:
+            self._feedback_channels.add(index)
+        else:
+            slot = self._merger.add_channel(float("-inf"))
+            self._merger_slots[index] = slot
+        return index
+
+    def retire_input_channel(self, channel_index: int) -> None:
+        """Detach an input channel (scale-in / dynamic rewiring): it stops
+        gating watermarks and end-of-stream accounting."""
+        self._retired_channels = getattr(self, "_retired_channels", set())
+        if channel_index in self._retired_channels:
+            return
+        self._retired_channels.add(channel_index)
+        slot = self._merger_slots.pop(channel_index, None)
+        if slot is not None:
+            merged = self._merger.retire_channel(slot)
+            if merged is not None and merged > self.current_watermark:
+                self.current_watermark = merged
+                self._fire_event_timers(merged)
+                self.operator.on_watermark(Watermark(merged), self.ctx)
+                self._flush_outputs()
+        self._feedback_channels.discard(channel_index)
+        self._eos_channels.add(channel_index)
+
+    def start(self) -> None:
+        """Record start time and open the operator."""
+        self.metrics.started_at = self.kernel.now()
+        self.operator.open(self.ctx)
+
+    # ------------------------------------------------------------------
+    # input path
+    # ------------------------------------------------------------------
+    #: when set (by an active-standby manager), deliveries during downtime
+    #: are parked here instead of dropped — the hot replica "received" them
+    ha_buffer: list | None = None
+    #: when set (by live migration), maps a key to its owning Task so
+    #: in-flight records routed under the old partitioning are forwarded
+    reroute: Any = None
+
+    def deliver(self, channel_index: int, element: StreamElement, via: Any = None) -> None:
+        """Channel callback: enqueue an element (dropped/parked when down)."""
+        if self.dead:
+            if self.ha_buffer is not None:
+                self.ha_buffer.append(_MailboxItem(channel_index, element))
+            else:
+                self.metrics.dropped += 1
+            # Either way, return the credit so the channel doesn't leak
+            # capacity while we are down.
+            if via is not None:
+                via.return_credit()
+            return
+        if channel_index in self._feedback_channels and not self.finished and not self.dead:
+            self._feedback_deliveries = getattr(self, "_feedback_deliveries", 0) + 1
+        if self.finished:
+            # A retired (scaled-in) task still forwards misrouted records.
+            if self.reroute is not None and isinstance(element, Record) and element.key is not None:
+                owner = self.reroute(element.key)
+                if owner is not None and owner is not self:
+                    owner.enqueue_local(element)
+            if via is not None:
+                via.return_credit()
+            return
+        self._mailbox.append(_MailboxItem(channel_index, element, via=via))
+        self._maybe_schedule()
+
+    def enqueue_local(self, element: StreamElement | _ProcTimer, channel_index: int = -1) -> None:
+        """Inject an element bypassing channels (timers, dynamic topologies,
+        function-runtime deliveries)."""
+        if self.dead or self.finished:
+            return
+        self._mailbox.append(_MailboxItem(channel_index, element))
+        self._maybe_schedule()
+
+    def _maybe_schedule(self) -> None:
+        if getattr(self, "_suspended", False):
+            return
+        if self._busy or self._output_blocked or self.dead or self.finished:
+            return
+        if not self._mailbox:
+            return
+        self._busy = True
+        incarnation = self.incarnation
+        self.kernel.call_soon(lambda: self._process_next(incarnation))
+
+    def _process_next(self, incarnation: int) -> None:
+        if incarnation != self.incarnation or self.dead or self.finished:
+            return
+        # Skip elements from inputs blocked by barrier alignment.
+        item: _MailboxItem | None = None
+        while self._mailbox:
+            candidate = self._mailbox.pop(0)
+            if candidate.channel_index in self._blocked_inputs and not isinstance(
+                candidate.element, CheckpointBarrier
+            ):
+                self._align_buffer.append(candidate)
+                continue
+            item = candidate
+            break
+        if item is None:
+            self._busy = False
+            return
+
+        started = self.kernel.now()
+        cost = self._handle_item(item)
+        completion = started + cost
+        self.metrics.busy_time += cost
+        incarnation = self.incarnation
+        self.kernel.call_at(completion, lambda: self._complete(item, incarnation))
+
+    def _complete(self, item: _MailboxItem, incarnation: int) -> None:
+        if incarnation != self.incarnation:
+            return
+        # Flush buffered outputs now, in order.
+        self._flush_outputs()
+        # Return the credit for this element.
+        if item.via is not None:
+            item.via.return_credit()
+        self._busy = False
+        if self._output_blocked:
+            self._blocked_since = self.kernel.now()
+            return
+        self._maybe_schedule()
+
+    # ------------------------------------------------------------------
+    # element handling (returns virtual cost)
+    # ------------------------------------------------------------------
+    def _handle_item(self, item: _MailboxItem) -> float:
+        element = item.element
+        stats_before = self.state_backend.stats.snapshot()
+        timers_fired = 0
+
+        if isinstance(element, _ProcTimer):
+            if not element.fired:
+                element.fired = True
+                self._pending_proc_timers.discard(id(element))
+                self.ctx.current_key_value = element.key
+                self.operator.on_processing_timer(
+                    element.timestamp, element.key, element.payload, self.ctx
+                )
+                timers_fired += 1
+        elif isinstance(element, Record):
+            if self.reroute is not None and element.key is not None:
+                owner = self.reroute(element.key)
+                if owner is not None and owner is not self:
+                    # Key ownership moved (live migration): forward the
+                    # element instead of processing it against empty state.
+                    owner.enqueue_local(element)
+                    return 0.0
+            self.metrics.records_in += 1
+            self.ctx.current_key_value = element.key
+            self.operator.process(element, self.ctx)
+        elif isinstance(element, Watermark):
+            self.metrics.watermarks_in += 1
+            timers_fired += self._handle_watermark(item.channel_index, element)
+        elif isinstance(element, Heartbeat):
+            # Heartbeats advance progress like per-source watermarks and are
+            # also forwarded for operators that want them.
+            timers_fired += self._advance_watermark(item.channel_index, element.timestamp)
+            self.operator.on_heartbeat(element, self.ctx)
+        elif isinstance(element, Punctuation):
+            self.operator.on_punctuation(element, self.ctx)
+        elif isinstance(element, CheckpointBarrier):
+            self._handle_barrier(item.channel_index, element)
+        elif isinstance(element, EndOfStream):
+            self._handle_eos(item.channel_index, element)
+        else:
+            self.operator.on_element(element, self.ctx)
+
+        reads_after, writes_after = self.state_backend.stats.snapshot()
+        reads = reads_after - stats_before[0]
+        writes = writes_after - stats_before[1]
+        self.metrics.state_reads += reads
+        self.metrics.state_writes += writes
+        self.metrics.timers_fired += timers_fired
+
+        cost = 0.0
+        if isinstance(element, (Record, _ProcTimer)):
+            cost += self.processing_cost
+        cost += timers_fired * self.timer_cost
+        cost += reads * self.state_backend.read_latency
+        cost += writes * self.state_backend.write_latency
+        cost += self.ctx.drain_extra_cost()
+        return cost
+
+    def _handle_watermark(self, channel_index: int, watermark: Watermark) -> int:
+        if channel_index in self._feedback_channels:
+            return 0  # async loops do not carry watermarks
+        return self._advance_watermark(channel_index, watermark.timestamp)
+
+    def _advance_watermark(self, channel_index: int, timestamp: float) -> int:
+        slot = self._merger_slots.get(channel_index)
+        if slot is None:
+            # Locally injected (channel -1): treat as a direct advance.
+            merged = timestamp if timestamp > self.current_watermark else None
+        else:
+            merged = self._merger.update(slot, timestamp)
+        if merged is None:
+            return 0
+        self.current_watermark = merged
+        fired = self._fire_event_timers(merged)
+        self.operator.on_watermark(Watermark(merged), self.ctx)
+        return fired
+
+    def _fire_event_timers(self, up_to: float) -> int:
+        fired = 0
+        while self._event_timers and self._event_timers[0][0] <= up_to:
+            timestamp, _seq, key, payload = heapq.heappop(self._event_timers)
+            self.ctx.current_key_value = key
+            self.operator.on_event_timer(timestamp, key, payload, self.ctx)
+            fired += 1
+        return fired
+
+    def _handle_eos(self, channel_index: int, eos: EndOfStream) -> None:
+        if channel_index in self._feedback_channels:
+            return
+        self._eos_channels.add(channel_index)
+        data_channels = self.input_channel_count - len(self._feedback_channels)
+        if len(self._eos_channels) < max(1, data_channels):
+            return
+        if self._feedback_channels:
+            # Async-loop termination: data inputs are done, but records may
+            # still be circulating on the feedback path. Defer the finish
+            # until the loop quiesces (no feedback deliveries and an idle
+            # mailbox across several consecutive probes).
+            self._begin_feedback_drain()
+            return
+        self._finish_task()
+
+    #: probes and consecutive-quiet-rounds required to declare a loop drained
+    _DRAIN_PROBE_INTERVAL = 0.05
+    _DRAIN_QUIET_ROUNDS = 3
+
+    def _begin_feedback_drain(self) -> None:
+        if getattr(self, "_draining", False):
+            return
+        self._draining = True
+        self._drain_quiet = 0
+        self._drain_last_count = getattr(self, "_feedback_deliveries", 0)
+        incarnation = self.incarnation
+
+        def probe() -> None:
+            if incarnation != self.incarnation or self.dead or self.finished:
+                return
+            current = getattr(self, "_feedback_deliveries", 0)
+            idle = not self._mailbox and not self._busy and not self._pending_output
+            if idle and current == self._drain_last_count:
+                self._drain_quiet += 1
+            else:
+                self._drain_quiet = 0
+            self._drain_last_count = current
+            if self._drain_quiet >= self._DRAIN_QUIET_ROUNDS:
+                self._draining = False
+                self._finish_task()
+            else:
+                self.kernel.call_after(self._DRAIN_PROBE_INTERVAL, probe)
+
+        self.kernel.call_after(self._DRAIN_PROBE_INTERVAL, probe)
+
+    def _finish_task(self) -> None:
+        # All inputs done: ensure remaining event timers fire, quiesce
+        # pending processing-time timers (fired immediately, in timestamp
+        # order), flush, forward.
+        self._fire_event_timers(MAX_TIMESTAMP)
+        pending = sorted(
+            (self._proc_timer_registry[tid] for tid in self._pending_proc_timers),
+            key=lambda t: t.timestamp,
+        )
+        self._pending_proc_timers.clear()
+        for timer in pending:
+            if timer.fired:
+                continue
+            timer.fired = True
+            self.ctx.current_key_value = timer.key
+            self.operator.on_processing_timer(timer.timestamp, timer.key, timer.payload, self.ctx)
+        self._proc_timer_registry.clear()
+        self.operator.flush(self.ctx)
+        self.collect_output(EndOfStream(source_id=self.name))
+        self.finished = True
+        self.metrics.finished_at = self.kernel.now()
+        self._flush_outputs()
+        if self.engine is not None:
+            self.engine.on_task_finished(self)
+
+    # ------------------------------------------------------------------
+    # barriers & snapshots
+    # ------------------------------------------------------------------
+    def _handle_barrier(self, channel_index: int, barrier: CheckpointBarrier) -> None:
+        data_channels = self.input_channel_count - len(self._feedback_channels)
+        if data_channels <= 1 or self.align_unaligned:
+            if self._align_id != barrier.checkpoint_id:
+                self._align_id = barrier.checkpoint_id
+                self._align_seen = set()
+            self._align_seen.add(channel_index)
+            if self.align_unaligned and len(self._align_seen) < data_channels:
+                return
+            self._snapshot_and_forward(barrier)
+            self._align_id = None
+            return
+        # Aligned mode with multiple inputs: block this channel until all
+        # barriers arrive.
+        if self._align_id is None or self._align_id != barrier.checkpoint_id:
+            self._align_id = barrier.checkpoint_id
+            self._align_seen = set()
+        self._align_seen.add(channel_index)
+        self._blocked_inputs.add(channel_index)
+        if len(self._align_seen) >= data_channels:
+            self._snapshot_and_forward(barrier)
+            self._blocked_inputs.clear()
+            self._align_id = None
+            # Re-inject buffered elements ahead of the rest of the mailbox.
+            self._mailbox[0:0] = self._align_buffer
+            self._align_buffer = []
+
+    def _snapshot_and_forward(self, barrier: CheckpointBarrier) -> None:
+        snapshot = self.take_snapshot(barrier.checkpoint_id)
+        hook = getattr(self.operator, "on_checkpoint", None)
+        if hook is not None:
+            hook(barrier.checkpoint_id)
+        if self.engine is not None:
+            self.engine.on_task_snapshot(self, snapshot)
+        self.collect_output(barrier)
+
+    def take_snapshot(self, checkpoint_id: int) -> TaskSnapshot:
+        """Capture keyed state, operator state, timers and watermark."""
+        snapshot = TaskSnapshot(
+            task_name=self.name,
+            checkpoint_id=checkpoint_id,
+            keyed_state=self.state_backend.snapshot(),
+            operator_state=self.operator.snapshot_state(),
+            timers=[(t, k, p) for (t, _s, k, p) in self._event_timers],
+            watermark=self.current_watermark,
+            taken_at=self.kernel.now(),
+        )
+        self.last_snapshot = snapshot
+        return snapshot
+
+    def restore_snapshot(self, snapshot: TaskSnapshot | None) -> None:
+        """Load state captured by :meth:`take_snapshot` into the current
+        operator/backend incarnation."""
+        if snapshot is None:
+            return
+        self.state_backend.restore(snapshot.keyed_state)
+        self.operator.restore_state(snapshot.operator_state)
+        self._event_timers = []
+        for timestamp, key, payload in snapshot.timers:
+            heapq.heappush(self._event_timers, (timestamp, next(self._timer_seq), key, payload))
+        self.current_watermark = snapshot.watermark
+        self.metrics.restored_at.append(self.kernel.now())
+
+    # ------------------------------------------------------------------
+    # timers
+    # ------------------------------------------------------------------
+    def register_event_timer(self, timestamp: float, key: Any, payload: Any) -> None:
+        """Arm an event-time timer (fires when the watermark passes)."""
+        heapq.heappush(self._event_timers, (timestamp, next(self._timer_seq), key, payload))
+
+    def register_processing_timer(self, timestamp: float, key: Any, payload: Any) -> None:
+        """Arm a virtual-processing-time timer."""
+        incarnation = self.incarnation
+        timer = _ProcTimer(timestamp, key, payload)
+        self._proc_timer_registry[id(timer)] = timer
+        self._pending_proc_timers.add(id(timer))
+
+        def fire() -> None:
+            if incarnation != self.incarnation or timer.fired:
+                return
+            self.enqueue_local(timer)
+
+        self.kernel.call_at(max(timestamp, self.kernel.now()), fire)
+
+    # ------------------------------------------------------------------
+    # output path
+    # ------------------------------------------------------------------
+    def collect_output(self, element: StreamElement) -> None:
+        """Buffer an element for emission at processing completion."""
+        self._pending_output.append(element)
+
+    def collect_side_output(self, tag: str, element: StreamElement) -> None:
+        """Buffer a tagged side-output element."""
+        self._side_pending.append((tag, element))
+
+    def _flush_outputs(self) -> None:
+        while self._pending_output:
+            element = self._pending_output.pop(0)
+            if isinstance(element, Record):
+                self.metrics.records_out += 1
+            clear = True
+            for gate in self.output_gates:
+                if not gate.emit(element):
+                    clear = False
+            if not clear:
+                self._output_blocked = True
+                self._blocked_since = self.kernel.now()
+        if self._side_pending and self.engine is not None:
+            for tag, element in self._side_pending:
+                self.engine.on_side_output(self.name, tag, element)
+            self._side_pending = []
+
+    def output_unblocked(self) -> None:
+        """Called by a channel when its backlog drains."""
+        if not self._output_blocked:
+            self._maybe_schedule()
+            return
+        if all(gate.is_clear for gate in self.output_gates):
+            self._output_blocked = False
+            if self._blocked_since is not None:
+                self.metrics.blocked_time += self.kernel.now() - self._blocked_since
+                self._blocked_since = None
+            self._flush_outputs()
+            if not self._output_blocked:
+                self._maybe_schedule()
+
+    # ------------------------------------------------------------------
+    # failure & lifecycle
+    # ------------------------------------------------------------------
+    def kill(self) -> None:
+        """Fail-stop: lose mailbox, volatile state, and in-flight work."""
+        if self.dead:
+            return
+        self.dead = True
+        self.incarnation += 1
+        self._busy = False
+        self.release_mailbox_credits()
+        self._mailbox.clear()
+        self._align_buffer.clear()
+        self._blocked_inputs.clear()
+        self._align_id = None
+        self._pending_output.clear()
+        self._event_timers.clear()
+        self._pending_proc_timers.clear()
+        self._proc_timer_registry.clear()
+        self._output_blocked = False
+        self.metrics.failures += 1
+        if not self.state_backend.survives_task_failure:
+            self.state_backend.clear_all()
+
+    def suspend(self) -> None:
+        """Stop pulling from the mailbox (in-flight element completes).
+
+        Used by recovery protocols to hold an upstream still while a
+        downstream rebuilds — the effect flow control would have."""
+        self._suspended = True
+
+    def resume_processing(self) -> None:
+        """Undo :meth:`suspend` and resume pulling from the mailbox."""
+        self._suspended = False
+        self._maybe_schedule()
+
+    def release_mailbox_credits(self) -> None:
+        """Return the flow-control credits held by queued elements (called
+        when the mailbox is discarded: kill, scale-in)."""
+        for item in self._mailbox:
+            if item.via is not None:
+                item.via.return_credit()
+                item.via = None
+        for item in self._align_buffer:
+            if item.via is not None:
+                item.via.return_credit()
+                item.via = None
+
+    def reincarnate(self, operator: Operator, state_backend: "KeyedStateBackend | None" = None) -> None:
+        """Bring the task back with a fresh operator (and backend unless the
+        old one survives failures). Caller then restores a snapshot."""
+        self.operator = operator
+        if state_backend is not None:
+            self.state_backend = state_backend
+        self.dead = False
+        self.finished = False
+        self._eos_channels.clear()
+        self._merger = WatermarkMerger(0)
+        old_slots = sorted(self._merger_slots)
+        self._merger_slots = {}
+        for channel_index in old_slots:
+            self._merger_slots[channel_index] = self._merger.add_channel(float("-inf"))
+        self.current_watermark = float("-inf")
+        self.operator.open(self.ctx)
+
+    @property
+    def mailbox_size(self) -> int:
+        return len(self._mailbox)
+
+    @property
+    def is_backpressured(self) -> bool:
+        return self._output_blocked
+
+    def __repr__(self) -> str:
+        return f"Task({self.name!r}, mailbox={len(self._mailbox)}, dead={self.dead})"
+
+
+class SourceTask(Task):
+    """Drives a workload generator through the output gates.
+
+    Emission timeline: arrival times accumulate the workload's inter-arrival
+    gaps; when output is blocked (backpressure) the source stalls and emits
+    the overdue element as soon as credit returns — i.e. a replayable,
+    flow-controlled source like a log consumer.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str,
+        workload: "Workload",
+        watermark_strategy: WatermarkStrategy,
+        bounded: bool = True,
+        heartbeat_interval: float | None = None,
+        metrics: TaskMetrics | None = None,
+        engine: Any = None,
+        subtask_index: int = 0,
+        parallelism: int = 1,
+    ) -> None:
+        super().__init__(
+            kernel,
+            name,
+            operator=Operator(),
+            state_backend=_NullBackend(),
+            subtask_index=subtask_index,
+            parallelism=parallelism,
+            processing_cost=0.0,
+            metrics=metrics,
+            engine=engine,
+        )
+        self.workload = workload
+        self.strategy = watermark_strategy
+        self.bounded = bounded
+        self.heartbeat_interval = heartbeat_interval
+        self._iterator = iter(workload.events())
+        self._emitted = 0
+        self._next_arrival = 0.0
+        self._pending_event: Any = None
+        self._last_watermark = float("-inf")
+        self._periodic: PeriodicTimer | None = None
+        self._hb_timer: PeriodicTimer | None = None
+        self._max_event_time = float("-inf")
+        self.paused = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.metrics.started_at = self.kernel.now()
+        self._next_arrival = self.kernel.now()
+        if self.strategy.periodic_interval is not None:
+            self._periodic = PeriodicTimer(
+                self.kernel, self.strategy.periodic_interval, self._periodic_watermark
+            )
+        if self.heartbeat_interval is not None:
+            self._hb_timer = PeriodicTimer(self.kernel, self.heartbeat_interval, self._emit_heartbeat)
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        if self.dead or self.finished or self.paused:
+            return
+        try:
+            event = next(self._iterator)
+        except StopIteration:
+            self._finish()
+            return
+        self._next_arrival = max(self.kernel.now(), self._next_arrival) + event.inter_arrival
+        self._pending_event = event
+        self._pending_due = self._next_arrival
+        incarnation = self.incarnation
+
+        def emit() -> None:
+            if incarnation != self.incarnation:
+                return
+            self._try_emit()
+
+        self.kernel.call_at(self._next_arrival, emit)
+
+    def _try_emit(self) -> None:
+        if self.dead or self.finished:
+            return
+        if self.kernel.now() + 1e-12 < getattr(self, "_pending_due", 0.0):
+            # Not due yet (an unblock or stale timer poked us early); the
+            # timer scheduled for the due time will deliver it.
+            return
+        if self._output_blocked or not all(g.is_clear for g in self.output_gates):
+            # Backpressured: wait for output_unblocked() to call us back.
+            self._output_blocked = True
+            if self._blocked_since is None:
+                self._blocked_since = self.kernel.now()
+            return
+        event = self._pending_event
+        self._pending_event = None
+        if event is None:
+            return
+        now = self.kernel.now()
+        record = Record(value=event.value, event_time=event.event_time, ingest_time=now)
+        if event.event_time is not None:
+            self._max_event_time = max(self._max_event_time, event.event_time)
+        self.collect_output(record)
+        self.metrics.records_in += 1
+        watermark = self.strategy.on_event(event.value, event.event_time, now)
+        if watermark is not None and watermark.timestamp > self._last_watermark:
+            self._last_watermark = watermark.timestamp
+            self.collect_output(watermark)
+        self._emitted += 1
+        self._flush_outputs()
+        self._schedule_next()
+
+    def output_unblocked(self) -> None:
+        if not self._output_blocked:
+            return
+        if all(gate.is_clear for gate in self.output_gates):
+            self._output_blocked = False
+            if self._blocked_since is not None:
+                self.metrics.blocked_time += self.kernel.now() - self._blocked_since
+                self._blocked_since = None
+            self._flush_outputs()
+            if self._output_blocked:
+                return
+            if self._pending_event is not None:
+                self._try_emit()
+
+    def _periodic_watermark(self) -> None:
+        if self.dead or self.finished:
+            return
+        watermark = self.strategy.on_periodic(self.kernel.now())
+        if watermark is not None and watermark.timestamp > self._last_watermark:
+            self._last_watermark = watermark.timestamp
+            self.collect_output(watermark)
+            self._flush_outputs()
+
+    def _emit_heartbeat(self) -> None:
+        if self.dead or self.finished:
+            return
+        timestamp = self._max_event_time if self._max_event_time > float("-inf") else self.kernel.now()
+        self.collect_output(Heartbeat(source_id=self.name, timestamp=timestamp))
+        self._flush_outputs()
+
+    def _finish(self) -> None:
+        self.finished = True
+        self.metrics.finished_at = self.kernel.now()
+        self.collect_output(Watermark(MAX_TIMESTAMP))
+        self.collect_output(EndOfStream(source_id=self.name))
+        self._flush_outputs()
+        self._cancel_timers()
+        if self.engine is not None:
+            self.engine.on_task_finished(self)
+
+    def _cancel_timers(self) -> None:
+        if self._periodic is not None:
+            self._periodic.cancel()
+        if self._hb_timer is not None:
+            self._hb_timer.cancel()
+
+    # ------------------------------------------------------------------
+    def pause(self) -> None:
+        """Stop emitting (used by stop-restart reconfiguration)."""
+        self.paused = True
+
+    def resume(self) -> None:
+        """Undo :meth:`pause`; emission continues from the pending event."""
+        if not self.paused:
+            return
+        self.paused = False
+        if self._pending_event is not None:
+            self._try_emit()
+        else:
+            self._schedule_next()
+
+    def take_snapshot(self, checkpoint_id: int) -> TaskSnapshot:
+        snapshot = TaskSnapshot(
+            task_name=self.name,
+            checkpoint_id=checkpoint_id,
+            keyed_state={},
+            operator_state=None,
+            timers=[],
+            watermark=self._last_watermark,
+            source_offset=self._emitted,
+            taken_at=self.kernel.now(),
+        )
+        self.last_snapshot = snapshot
+        return snapshot
+
+    def restore_snapshot(self, snapshot: TaskSnapshot | None) -> None:
+        offset = snapshot.source_offset if snapshot is not None else 0
+        self._iterator = iter(self.workload.events())
+        skipped = 0
+        while skipped < (offset or 0):
+            try:
+                next(self._iterator)
+            except StopIteration:
+                break
+            skipped += 1
+        self._emitted = skipped
+        self._last_watermark = snapshot.watermark if snapshot is not None else float("-inf")
+        self._pending_event = None
+        self._next_arrival = self.kernel.now()
+        if snapshot is not None:
+            self.metrics.restored_at.append(self.kernel.now())
+
+    def kill(self) -> None:
+        super().kill()
+        self._cancel_timers()
+        self._pending_event = None
+
+    def reincarnate(self, operator: Operator | None = None, state_backend: Any = None) -> None:
+        self.dead = False
+        self.finished = False
+        self.strategy = self.strategy.fresh()
+        if self.strategy.periodic_interval is not None:
+            self._periodic = PeriodicTimer(
+                self.kernel, self.strategy.periodic_interval, self._periodic_watermark
+            )
+        if self.heartbeat_interval is not None:
+            self._hb_timer = PeriodicTimer(self.kernel, self.heartbeat_interval, self._emit_heartbeat)
+
+    def restart_emission(self) -> None:
+        """Kick the emission loop after a restore."""
+        if self.dead or self.finished:
+            raise RuntimeStateError(f"source {self.name} cannot restart while dead/finished")
+        self._schedule_next()
+
+    @property
+    def emitted(self) -> int:
+        return self._emitted
+
+
+class _NullBackend:
+    """State backend stub for source tasks (no keyed state)."""
+
+    read_latency = 0.0
+    write_latency = 0.0
+    survives_task_failure = True
+
+    def __init__(self) -> None:
+        from repro.state.api import AccessStats
+
+        self.stats = AccessStats()
+
+    def handle(self, descriptor, key):  # pragma: no cover - sources hold no state
+        raise RuntimeStateError("source tasks have no keyed state")
+
+    def snapshot(self) -> dict:
+        return {}
+
+    def restore(self, snapshot: dict) -> None:
+        pass
+
+    def clear_all(self) -> None:
+        pass

@@ -1,0 +1,197 @@
+"""Discrete-event simulation (DES) kernel.
+
+The kernel is the substrate every other subsystem runs on: the physical
+runtime schedules record deliveries, timer firings, checkpoint triggers,
+failure injections and recovery actions as timestamped events on a single
+priority queue. Ties are broken by insertion sequence, which makes every
+simulation fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Kernel.schedule`; allows cancellation."""
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it on dispatch."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class Kernel:
+    """Deterministic discrete-event scheduler with a virtual clock.
+
+    Typical usage::
+
+        kernel = Kernel()
+        kernel.call_at(1.0, lambda: print("one second in"))
+        kernel.run()
+    """
+
+    def __init__(self, clock: VirtualClock | None = None) -> None:
+        self.clock = clock or VirtualClock()
+        self._queue: list[_ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self._dispatched = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def call_at(self, time: float, action: Callable[[], None]) -> EventHandle:
+        """Schedule ``action`` to run at absolute virtual ``time``."""
+        if time < self.clock.now() - 1e-12:
+            raise SimulationError(
+                f"cannot schedule event at {time} before now={self.clock.now()}"
+            )
+        event = _ScheduledEvent(max(time, self.clock.now()), next(self._seq), action)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def call_after(self, delay: float, action: Callable[[], None]) -> EventHandle:
+        """Schedule ``action`` to run ``delay`` virtual seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.call_at(self.clock.now() + delay, action)
+
+    def call_soon(self, action: Callable[[], None]) -> EventHandle:
+        """Schedule ``action`` at the current time, after queued same-time events."""
+        return self.call_at(self.clock.now(), action)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Dispatch events in timestamp order.
+
+        Args:
+            until: stop once the clock would pass this virtual time. Events
+                at exactly ``until`` are still dispatched.
+            max_events: safety valve against runaway feedback loops.
+
+        Returns:
+            The virtual time at which the simulation quiesced or stopped.
+        """
+        if self._running:
+            raise SimulationError("kernel is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._queue:
+                if self._stopped:
+                    break
+                if max_events is not None and self._dispatched >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; possible livelock"
+                    )
+                event = heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                if until is not None and event.time > until:
+                    # Put it back for a later run() call and advance to the horizon.
+                    heapq.heappush(self._queue, event)
+                    self.clock.advance_to(until)
+                    break
+                self.clock.advance_to(event.time)
+                self._dispatched += 1
+                event.action()
+            else:
+                if until is not None:
+                    self.clock.advance_to(until)
+        finally:
+            self._running = False
+        return self.clock.now()
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` to return after the active event."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.clock.now()
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def dispatched_events(self) -> int:
+        return self._dispatched
+
+    def __repr__(self) -> str:
+        return (
+            f"Kernel(now={self.now():.6f}, pending={self.pending_events}, "
+            f"dispatched={self._dispatched})"
+        )
+
+
+class PeriodicTimer:
+    """Repeatedly invokes a callback on the kernel until cancelled.
+
+    Used for heartbeats, watermark emission intervals, checkpoint intervals
+    and elasticity control loops.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        interval: float,
+        action: Callable[[], None],
+        start_delay: float | None = None,
+    ) -> None:
+        if interval <= 0:
+            raise SimulationError(f"periodic interval must be positive, got {interval}")
+        self._kernel = kernel
+        self._interval = interval
+        self._action = action
+        self._active = True
+        self._handle = kernel.call_after(
+            interval if start_delay is None else start_delay, self._fire
+        )
+
+    def _fire(self) -> None:
+        if not self._active:
+            return
+        self._action()
+        if self._active:
+            self._handle = self._kernel.call_after(self._interval, self._fire)
+
+    def cancel(self) -> None:
+        """Stop firing; the in-flight event is skipped."""
+        self._active = False
+        self._handle.cancel()
+
+    @property
+    def active(self) -> bool:
+        return self._active

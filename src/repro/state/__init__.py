@@ -1,0 +1,57 @@
+"""State management (survey §3.1).
+
+Descriptors and handles in :mod:`repro.state.api`; physical backends:
+
+* :class:`InMemoryStateBackend` — internally managed, heap-resident, TTL-aware;
+* :class:`LSMStateBackend` — log-structured merge tree (large internally
+  managed state, the RocksDB role);
+* :class:`ExternalStateBackend` over a shared :class:`RemoteStore` —
+  externally managed state (the MillWheel/Bigtable role);
+* :class:`PersistentMemoryBackend` — NVRAM model (§4.2 hardware);
+* :class:`ChangelogStateBackend` — mutation log mirroring (the Kafka
+  Streams/Samza role).
+"""
+
+from repro.state.api import (
+    KeyedStateBackend,
+    ListState,
+    ListStateDescriptor,
+    MapState,
+    MapStateDescriptor,
+    ReducingState,
+    ReducingStateDescriptor,
+    StateDescriptor,
+    ValueState,
+    ValueStateDescriptor,
+)
+from repro.state.changelog import Changelog, ChangelogEntry, ChangelogStateBackend
+from repro.state.external import ExternalStateBackend, PersistentMemoryBackend, RemoteStore
+from repro.state.lsm import LSMStateBackend, SSTable, merge_runs
+from repro.state.memory import InMemoryStateBackend
+from repro.state.synopses import CountMinSketch, ExponentialHistogram, ReservoirSample
+
+__all__ = [
+    "Changelog",
+    "ChangelogEntry",
+    "ChangelogStateBackend",
+    "CountMinSketch",
+    "ExponentialHistogram",
+    "ReservoirSample",
+    "ExternalStateBackend",
+    "InMemoryStateBackend",
+    "KeyedStateBackend",
+    "LSMStateBackend",
+    "ListState",
+    "ListStateDescriptor",
+    "MapState",
+    "MapStateDescriptor",
+    "PersistentMemoryBackend",
+    "ReducingState",
+    "ReducingStateDescriptor",
+    "RemoteStore",
+    "SSTable",
+    "StateDescriptor",
+    "ValueState",
+    "ValueStateDescriptor",
+    "merge_runs",
+]

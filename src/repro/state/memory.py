@@ -1,0 +1,88 @@
+"""Heap (in-memory) state backend — the "internally managed" fast path.
+
+Survey §3.1: internally managed state lives with the task, giving the lowest
+access latency but dying with it on failure (hence checkpoints, E5). TTL
+support implements the state-expiration policies the tutorial lists among
+state-management aspects.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.state.api import KeyedStateBackend, StateDescriptor
+
+
+class InMemoryStateBackend(KeyedStateBackend):
+    """Nested-dict storage: descriptor name → key → value.
+
+    Optionally time-aware: pass a ``clock`` callable to enforce descriptor
+    TTLs lazily on read (expired entries are dropped when touched, the same
+    lazy policy RocksDB-backed engines use).
+    """
+
+    read_latency = 0.0
+    write_latency = 0.0
+    survives_task_failure = False
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        super().__init__()
+        self._clock = clock
+        self._data: dict[str, dict[Any, Any]] = {}
+        self._write_times: dict[str, dict[Any, float]] = {}
+        self._descriptors: dict[str, StateDescriptor] = {}
+
+    def register(self, descriptor: StateDescriptor) -> None:
+        self._descriptors.setdefault(descriptor.name, descriptor)
+        self._data.setdefault(descriptor.name, {})
+        self._write_times.setdefault(descriptor.name, {})
+
+    def _expired(self, descriptor: StateDescriptor, key: Any) -> bool:
+        if descriptor.ttl is None or self._clock is None:
+            return False
+        written = self._write_times.get(descriptor.name, {}).get(key)
+        if written is None:
+            return False
+        return self._clock() - written > descriptor.ttl
+
+    def get(self, descriptor: StateDescriptor, key: Any) -> Any:
+        self.register(descriptor)
+        self.stats.reads += 1
+        if self._expired(descriptor, key):
+            self._data[descriptor.name].pop(key, None)
+            self._write_times[descriptor.name].pop(key, None)
+            return None
+        return self._data[descriptor.name].get(key)
+
+    def put(self, descriptor: StateDescriptor, key: Any, value: Any) -> None:
+        self.register(descriptor)
+        self.stats.writes += 1
+        self._data[descriptor.name][key] = value
+        if self._clock is not None:
+            self._write_times[descriptor.name][key] = self._clock()
+
+    def delete(self, descriptor: StateDescriptor, key: Any) -> None:
+        self.register(descriptor)
+        self.stats.writes += 1
+        self._data[descriptor.name].pop(key, None)
+        self._write_times[descriptor.name].pop(key, None)
+
+    def keys(self, descriptor: StateDescriptor) -> Iterator[Any]:
+        self.register(descriptor)
+        for key in list(self._data[descriptor.name].keys()):
+            if not self._expired(descriptor, key):
+                yield key
+
+    def descriptors(self) -> list[StateDescriptor]:
+        return list(self._descriptors.values())
+
+    def sweep_expired(self) -> int:
+        """Eagerly drop all expired entries; returns the count removed."""
+        removed = 0
+        for descriptor in self.descriptors():
+            for key in list(self._data[descriptor.name].keys()):
+                if self._expired(descriptor, key):
+                    self._data[descriptor.name].pop(key, None)
+                    self._write_times[descriptor.name].pop(key, None)
+                    removed += 1
+        return removed

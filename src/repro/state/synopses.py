@@ -1,0 +1,183 @@
+"""Synopses: the bounded-memory approximate state of first-generation DSMSs.
+
+Survey §3.1: "several early systems adopted a bounded memory model ...
+with actual state being a best-effort, approximate summarization of
+necessary stream statistics" — addressed over the years as "summary",
+"synopsis", "sketch". Three classics:
+
+* :class:`CountMinSketch` — frequency estimation with one-sided error
+  (Cormode & Muthukrishnan);
+* :class:`ReservoirSample` — uniform sample of an unbounded stream
+  (Vitter's Algorithm R);
+* :class:`ExponentialHistogram` — sliding-window counting in logarithmic
+  space with bounded relative error (Datar–Gionis–Indyk–Motwani).
+
+All are deterministic given a seed and expose their memory footprint, so
+the exact-vs-approximate trade-off is measurable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.core.keys import stable_hash
+from repro.sim.random import SimRandom
+
+
+class CountMinSketch:
+    """Frequency sketch: estimates overcount by at most ``epsilon * N`` with
+    probability ``1 - delta``, in ``O(1/epsilon * ln(1/delta))`` counters."""
+
+    def __init__(self, epsilon: float = 0.01, delta: float = 0.01) -> None:
+        if not 0 < epsilon < 1 or not 0 < delta < 1:
+            raise ValueError("epsilon and delta must be in (0, 1)")
+        self.epsilon = epsilon
+        self.delta = delta
+        self.width = max(1, math.ceil(math.e / epsilon))
+        self.depth = max(1, math.ceil(math.log(1.0 / delta)))
+        self._rows = [[0] * self.width for _ in range(self.depth)]
+        self.total = 0
+
+    def _index(self, row: int, item: Hashable) -> int:
+        return stable_hash((row, item)) % self.width
+
+    def add(self, item: Hashable, count: int = 1) -> None:
+        """Count an occurrence of ``item``."""
+        self.total += count
+        for row in range(self.depth):
+            self._rows[row][self._index(row, item)] += count
+
+    def estimate(self, item: Hashable) -> int:
+        """Estimated frequency (never below the true count)."""
+        return min(self._rows[row][self._index(row, item)] for row in range(self.depth))
+
+    def error_bound(self) -> float:
+        """With probability 1-delta, estimate ≤ true + this bound."""
+        return self.epsilon * self.total
+
+    @property
+    def counters(self) -> int:
+        return self.width * self.depth
+
+    def merge(self, other: "CountMinSketch") -> None:
+        """Merge a same-shaped sketch (distributed aggregation)."""
+        if (self.width, self.depth) != (other.width, other.depth):
+            raise ValueError("cannot merge sketches of different shapes")
+        for row in range(self.depth):
+            for col in range(self.width):
+                self._rows[row][col] += other._rows[row][col]
+        self.total += other.total
+
+
+class ReservoirSample:
+    """Uniform fixed-size sample over an unbounded stream (Algorithm R)."""
+
+    def __init__(self, capacity: int, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._rng = SimRandom(seed, "reservoir")
+        self._sample: list[Any] = []
+        self.seen = 0
+
+    def add(self, item: Any) -> None:
+        """Offer one item to the reservoir (Algorithm R step)."""
+        self.seen += 1
+        if len(self._sample) < self.capacity:
+            self._sample.append(item)
+            return
+        index = self._rng.randint(0, self.seen - 1)
+        if index < self.capacity:
+            self._sample[index] = item
+
+    def sample(self) -> list[Any]:
+        """The current uniform sample."""
+        return list(self._sample)
+
+    def estimate_mean(self) -> float:
+        """Sample mean as an estimate of the stream mean."""
+        if not self._sample:
+            return 0.0
+        return sum(self._sample) / len(self._sample)
+
+    def estimate_fraction(self, predicate) -> float:
+        """Sample fraction satisfying ``predicate``."""
+        if not self._sample:
+            return 0.0
+        return sum(1 for item in self._sample if predicate(item)) / len(self._sample)
+
+
+@dataclass
+class _Bucket:
+    timestamp: float
+    size: int
+
+
+class ExponentialHistogram:
+    """Approximate count of 1s in a sliding time window.
+
+    Keeps O(k · log N) buckets for relative error ≤ 1/k: buckets double in
+    size toward the past; when more than ``k + 1`` buckets share a size,
+    the two oldest merge. The oldest bucket straddles the window edge and
+    contributes half its size — the DGIM estimate.
+    """
+
+    def __init__(self, window: float, k: int = 4) -> None:
+        if window <= 0 or k < 1:
+            raise ValueError("window must be positive and k >= 1")
+        self.window = window
+        self.k = k
+        self._buckets: list[_Bucket] = []  # newest first
+        self.last_time = float("-inf")
+
+    def add(self, timestamp: float, count: int = 1) -> None:
+        """Count ``count`` events at ``timestamp`` (in order)."""
+        if timestamp < self.last_time:
+            raise ValueError("exponential histogram requires in-order inserts")
+        self.last_time = timestamp
+        for _ in range(count):
+            self._buckets.insert(0, _Bucket(timestamp, 1))
+            self._merge()
+        self._expire(timestamp)
+
+    def _merge(self) -> None:
+        size = 1
+        while True:
+            same = [i for i, b in enumerate(self._buckets) if b.size == size]
+            if len(same) <= self.k + 1:
+                break
+            # Merge the two OLDEST buckets of this size.
+            second_last, last = same[-2], same[-1]
+            merged = _Bucket(self._buckets[second_last].timestamp, size * 2)
+            for index in sorted((second_last, last), reverse=True):
+                del self._buckets[index]
+            # Insert keeping newest-first order by timestamp.
+            position = 0
+            while position < len(self._buckets) and self._buckets[position].timestamp >= merged.timestamp:
+                position += 1
+            self._buckets.insert(position, merged)
+            size *= 2
+
+    def _expire(self, now: float) -> None:
+        cutoff = now - self.window
+        while self._buckets and self._buckets[-1].timestamp <= cutoff:
+            self._buckets.pop()
+
+    def estimate(self, now: float | None = None) -> float:
+        """Approximate count of events in the trailing window."""
+        now = self.last_time if now is None else now
+        self._expire(now)
+        if not self._buckets:
+            return 0.0
+        total = sum(b.size for b in self._buckets)
+        return total - self._buckets[-1].size / 2.0
+
+    @property
+    def bucket_count(self) -> int:
+        return len(self._buckets)
+
+    def relative_error_bound(self) -> float:
+        """Guaranteed relative error: 1/k."""
+        return 1.0 / self.k

@@ -1,0 +1,29 @@
+"""Streaming transactions (survey §4.2): 2PL manager, 2PC, sagas, S-Store ops."""
+
+from repro.txn.manager import LockMode, Transaction, TransactionManager, TxnStatus
+from repro.txn.saga import SagaExecutor, SagaReport, SagaStep
+from repro.txn.sstore import NonTransactionalOperator, TransactionalOperator
+from repro.txn.twophase import (
+    Decision,
+    Participant,
+    TwoPCResult,
+    TwoPhaseCoordinator,
+    Vote,
+)
+
+__all__ = [
+    "Decision",
+    "LockMode",
+    "NonTransactionalOperator",
+    "Participant",
+    "SagaExecutor",
+    "SagaReport",
+    "SagaStep",
+    "Transaction",
+    "TransactionManager",
+    "TransactionalOperator",
+    "TwoPCResult",
+    "TwoPhaseCoordinator",
+    "TxnStatus",
+    "Vote",
+]

@@ -1,0 +1,72 @@
+"""Saga workflows: long-lived transactions with compensation (survey §4.2).
+
+Programming frameworks should "handle transaction abort cases and rollback
+actions in an automated manner". A saga is a sequence of steps, each with a
+compensating action; when a step fails, the completed prefix is compensated
+in reverse order, restoring application-level consistency without global
+locks — the standard microservice transaction pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class SagaStep:
+    name: str
+    action: Callable[[dict], Any]
+    compensation: Callable[[dict], Any] | None = None
+
+
+@dataclass
+class SagaReport:
+    completed: list[str] = field(default_factory=list)
+    compensated: list[str] = field(default_factory=list)
+    failed_step: str | None = None
+    error: str | None = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.failed_step is None
+
+
+class SagaExecutor:
+    """Runs saga instances; each instance gets a mutable context dict that
+    actions and compensations share."""
+
+    def __init__(self, steps: list[SagaStep]) -> None:
+        if not steps:
+            raise ValueError("a saga needs at least one step")
+        self.steps = steps
+        self.reports: list[SagaReport] = []
+
+    def execute(self, context: dict | None = None) -> SagaReport:
+        """Run the steps; on failure, compensate the completed prefix in reverse."""
+        context = context if context is not None else {}
+        report = SagaReport()
+        done: list[SagaStep] = []
+        for step in self.steps:
+            try:
+                step.action(context)
+            except Exception as exc:  # noqa: BLE001 - sagas absorb step failures
+                report.failed_step = step.name
+                report.error = str(exc)
+                for finished in reversed(done):
+                    if finished.compensation is not None:
+                        finished.compensation(context)
+                        report.compensated.append(finished.name)
+                break
+            done.append(step)
+            report.completed.append(step.name)
+        self.reports.append(report)
+        return report
+
+    @property
+    def success_count(self) -> int:
+        return sum(1 for r in self.reports if r.succeeded)
+
+    @property
+    def rollback_count(self) -> int:
+        return sum(1 for r in self.reports if not r.succeeded)

@@ -1,0 +1,111 @@
+"""Streaming transactions: S-Store's execution model on the dataflow.
+
+S-Store [Meehan et al.] turns each input event into an ACID transaction
+over shared mutable state, with ordering guarantees per dataflow. The
+:class:`TransactionalOperator` executes a user transaction body per record
+against a shared :class:`~repro.txn.manager.TransactionManager`, retrying
+NO-WAIT aborts; :class:`NonTransactionalOperator` is the anomaly-prone
+baseline (read-modify-write without isolation) used by experiment E10.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.events import Record
+from repro.core.operators.base import Operator, OperatorContext
+from repro.errors import TransactionAborted
+from repro.txn.manager import Transaction, TransactionManager
+
+
+class TransactionalOperator(Operator):
+    """Executes ``body(txn, manager, value) -> output`` per record, with
+    retry-on-abort and a per-attempt virtual cost."""
+
+    def __init__(
+        self,
+        manager: TransactionManager,
+        body: Callable[[Transaction, TransactionManager, Any], Any],
+        attempt_cost: float = 5e-5,
+        max_retries: int = 25,
+        name: str = "stxn",
+    ) -> None:
+        self.manager = manager
+        self.body = body
+        self.attempt_cost = attempt_cost
+        self.max_retries = max_retries
+        self._name = name
+        self.retries = 0
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def process(self, record: Record, ctx: OperatorContext) -> None:
+        attempts = 0
+        while True:
+            attempts += 1
+            ctx.add_cost(self.attempt_cost)
+            txn = self.manager.begin()
+            try:
+                output = self.body(txn, self.manager, record.value)
+            except TransactionAborted:
+                if attempts >= self.max_retries:
+                    raise
+                self.retries += 1
+                continue
+            self.manager.commit(txn)
+            break
+        if output is not None:
+            ctx.emit(record.with_value(output))
+
+
+class NonTransactionalOperator(Operator):
+    """The unsafe baseline: dirty read-modify-write over the same store.
+
+    ``body(manager, value) -> output`` uses ``manager.get``/``manager.put``.
+    To surface lost updates in a cooperatively-scheduled simulation, the
+    read and the write are separated by an *interleaving window*: other
+    records (possibly on other subtasks) may touch the same keys in
+    between, exactly as racing threads would.
+    """
+
+    def __init__(
+        self,
+        manager: TransactionManager,
+        read_phase: Callable[[TransactionManager, Any], Any],
+        write_phase: Callable[[TransactionManager, Any, Any], Any],
+        attempt_cost: float = 5e-5,
+        name: str = "dirty",
+    ) -> None:
+        self.manager = manager
+        self.read_phase = read_phase
+        self.write_phase = write_phase
+        self.attempt_cost = attempt_cost
+        self._name = name
+        self._staged: list[tuple[Record, Any]] = []
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def process(self, record: Record, ctx: OperatorContext) -> None:
+        ctx.add_cost(self.attempt_cost)
+        # Read BEFORE the previous operation's write lands — exactly the
+        # racy interleaving two unsynchronized workers produce. If this
+        # record touches the same key as the staged one, the snapshot below
+        # is stale and the staged write clobbers it (lost update).
+        snapshot = self.read_phase(self.manager, record.value)
+        if self._staged:
+            staged_record, staged_read = self._staged.pop(0)
+            output = self.write_phase(self.manager, staged_record.value, staged_read)
+            if output is not None:
+                ctx.emit(staged_record.with_value(output))
+        self._staged.append((record, snapshot))
+
+    def flush(self, ctx: OperatorContext) -> None:
+        while self._staged:
+            staged_record, staged_read = self._staged.pop(0)
+            output = self.write_phase(self.manager, staged_record.value, staged_read)
+            if output is not None:
+                ctx.emit(staged_record.with_value(output))

@@ -1,0 +1,9 @@
+"""State versioning & schema evolution (survey §4.2)."""
+
+from repro.versioning.schema import (
+    SchemaRegistry,
+    VersionedSerde,
+    migrate_snapshot,
+)
+
+__all__ = ["SchemaRegistry", "VersionedSerde", "migrate_snapshot"]

@@ -1,0 +1,140 @@
+"""State versioning & schema evolution (survey §4.2).
+
+"As their state schema evolves, applications need a reliable way to version
+their state in order to continue operating consistently." This module
+provides:
+
+* a :class:`SchemaRegistry` of versioned migrations per state name;
+* :class:`VersionedSerde` — a serde that stamps every value with its schema
+  version and upgrades old payloads through the migration chain on read;
+* :func:`migrate_snapshot` — offline upgrade of a whole task snapshot (the
+  savepoint-upgrade path).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.serde import Serde
+from repro.errors import StateMigrationError
+
+Migration = Callable[[Any], Any]
+
+
+@dataclass
+class _SchemaChain:
+    latest: int = 1
+    migrations: dict[int, Migration] = field(default_factory=dict)  # from-version → fn
+
+
+class SchemaRegistry:
+    """Versioned migration chains, one per logical state name."""
+
+    def __init__(self) -> None:
+        self._chains: dict[str, _SchemaChain] = {}
+
+    def declare(self, state_name: str, version: int = 1) -> None:
+        """Register a state name at (at least) the given version."""
+        chain = self._chains.setdefault(state_name, _SchemaChain())
+        chain.latest = max(chain.latest, version)
+
+    def register_migration(self, state_name: str, from_version: int, migration: Migration) -> None:
+        """Register the upgrade ``from_version → from_version + 1``."""
+        chain = self._chains.setdefault(state_name, _SchemaChain())
+        if from_version in chain.migrations:
+            raise StateMigrationError(
+                f"{state_name}: migration from v{from_version} already registered"
+            )
+        chain.migrations[from_version] = migration
+        chain.latest = max(chain.latest, from_version + 1)
+
+    def latest_version(self, state_name: str) -> int:
+        """Latest known schema version for a state name."""
+        chain = self._chains.get(state_name)
+        return chain.latest if chain else 1
+
+    def upgrade(self, state_name: str, value: Any, from_version: int) -> Any:
+        """Run ``value`` through the chain up to the latest version."""
+        chain = self._chains.get(state_name)
+        latest = chain.latest if chain else 1
+        if from_version > latest:
+            raise StateMigrationError(
+                f"{state_name}: payload v{from_version} is newer than latest v{latest}"
+            )
+        current = value
+        version = from_version
+        while version < latest:
+            migration = chain.migrations.get(version) if chain else None
+            if migration is None:
+                raise StateMigrationError(
+                    f"{state_name}: no migration from v{version} to v{version + 1}"
+                )
+            current = migration(current)
+            version += 1
+        return current
+
+
+class VersionedSerde(Serde):
+    """JSON serde embedding the schema version; upgrades on deserialize."""
+
+    name = "versioned-json"
+
+    def __init__(self, registry: SchemaRegistry, state_name: str, version: int | None = None) -> None:
+        self.registry = registry
+        self.state_name = state_name
+        self._pinned_version = version
+
+    @property
+    def version(self) -> int:
+        if self._pinned_version is not None:
+            return self._pinned_version
+        return self.registry.latest_version(self.state_name)
+
+    def serialize(self, value: Any) -> bytes:
+        envelope = {"_v": self.version, "data": value}
+        try:
+            return json.dumps(envelope, sort_keys=True).encode()
+        except (TypeError, ValueError) as exc:
+            raise StateMigrationError(f"{self.state_name}: not serializable: {exc}") from exc
+
+    def deserialize(self, data: bytes) -> Any:
+        try:
+            envelope = json.loads(data.decode())
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise StateMigrationError(f"{self.state_name}: corrupt payload: {exc}") from exc
+        if not isinstance(envelope, dict) or "_v" not in envelope:
+            raise StateMigrationError(f"{self.state_name}: payload missing version stamp")
+        return self.registry.upgrade(self.state_name, envelope["data"], envelope["_v"])
+
+
+def migrate_snapshot(
+    snapshot: dict[str, dict[Any, bytes]],
+    registry: SchemaRegistry,
+    old_serdes: dict[str, Serde],
+    new_serdes: dict[str, Serde],
+) -> dict[str, dict[Any, bytes]]:
+    """Upgrade a task snapshot offline (savepoint upgrade).
+
+    Values are decoded with the writing serde, upgraded through the
+    registry's chain (``old_serdes[name].version`` → latest), and re-encoded
+    with the new serde.
+    """
+    out: dict[str, dict[Any, bytes]] = {}
+    for name, entries in snapshot.items():
+        old = old_serdes.get(name)
+        new = new_serdes.get(name)
+        if old is None or new is None:
+            out[name] = dict(entries)
+            continue
+        from_version = getattr(old, "version", 1)
+        upgraded: dict[Any, bytes] = {}
+        for key, data in entries.items():
+            raw = old.deserialize(data)
+            # old.deserialize may already upgrade if it shares the registry;
+            # applying upgrade() is idempotent for same-version values.
+            value = registry.upgrade(name, raw, from_version) if not isinstance(old, VersionedSerde) else raw
+            upgraded[key] = new.serialize(value)
+        out[name] = upgraded
+    return out

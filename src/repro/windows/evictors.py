@@ -1,0 +1,41 @@
+"""Evictors: trim window buffers before the window function runs."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class Evictor:
+    """Given the buffered ``(event_time, value)`` pairs, return the pairs to
+    keep (in order)."""
+
+    def evict(self, elements: list[tuple[float, Any]], window: Any) -> list[tuple[float, Any]]:
+        """Trim the buffered (event_time, value) pairs before the window function runs."""
+        raise NotImplementedError
+
+
+class CountEvictor(Evictor):
+    """Keep only the last ``count`` elements."""
+
+    def __init__(self, count: int) -> None:
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        self.count = count
+
+    def evict(self, elements: list[tuple[float, Any]], window: Any) -> list[tuple[float, Any]]:
+        return elements[-self.count :]
+
+
+class TimeEvictor(Evictor):
+    """Keep only elements within ``keep`` seconds of the newest element."""
+
+    def __init__(self, keep: float) -> None:
+        if keep <= 0:
+            raise ValueError(f"keep must be positive, got {keep}")
+        self.keep = keep
+
+    def evict(self, elements: list[tuple[float, Any]], window: Any) -> list[tuple[float, Any]]:
+        if not elements:
+            return elements
+        newest = max(t for t, _v in elements)
+        return [(t, v) for t, v in elements if t > newest - self.keep]

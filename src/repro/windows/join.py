@@ -1,0 +1,128 @@
+"""Streaming joins: window join and interval join.
+
+Joins consume a tagged union (``("left"|"right", value)``, see
+:func:`repro.core.datastream.connect_streams`) keyed by the join key, buffer
+both sides in keyed state, and clean up with event-time timers — the
+standard construction of two-input stateful operators on a one-input
+runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.events import Record
+from repro.core.operators.base import Operator, OperatorContext
+from repro.state.api import MapStateDescriptor
+from repro.windows.assigners import WindowAssigner
+
+
+class WindowJoinOperator(Operator):
+    """INNER join of the two sides per assigned window.
+
+    Emits ``join_fn(left_value, right_value)`` for every pair that falls in
+    the same window of the same key, when the window closes.
+    """
+
+    def __init__(
+        self,
+        assigner: WindowAssigner,
+        join_fn: Callable[[Any, Any], Any],
+        name: str = "window-join",
+    ) -> None:
+        self.assigner = assigner
+        self.join_fn = join_fn
+        self._name = name
+        self._descriptor = MapStateDescriptor(f"{name}-buffers")
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def process(self, record: Record, ctx: OperatorContext) -> None:
+        side, value = record.value
+        event_time = record.event_time if record.event_time is not None else ctx.processing_time()
+        state = ctx.state(self._descriptor)
+        for window in self.assigner.assign(value, event_time):
+            if ctx.current_watermark() >= window.end:
+                continue  # late
+            entry = state.get(window)
+            if entry is None:
+                entry = {"left": [], "right": []}
+                ctx.register_event_timer(window.end, window)
+            entry[side].append(value)
+            state.put(window, entry)
+
+    def on_event_timer(self, timestamp: float, key: Any, payload: Any, ctx: OperatorContext) -> None:
+        window = payload
+        state = ctx.state(self._descriptor)
+        entry = state.get(window)
+        if entry is None:
+            return
+        for left in entry["left"]:
+            for right in entry["right"]:
+                ctx.emit(
+                    Record(value=self.join_fn(left, right), event_time=window.end, key=key)
+                )
+        state.remove(window)
+
+
+class IntervalJoinOperator(Operator):
+    """Join left/right where ``|t_left - t_right| <= bound`` (relative-time
+    join): each side buffers by timestamp; matches emit immediately."""
+
+    def __init__(
+        self,
+        lower: float,
+        upper: float,
+        join_fn: Callable[[Any, Any], Any],
+        name: str = "interval-join",
+    ) -> None:
+        if lower > upper:
+            raise ValueError("lower bound must not exceed upper bound")
+        self.lower = lower
+        self.upper = upper
+        self.join_fn = join_fn
+        self._name = name
+        self._descriptor = MapStateDescriptor(f"{name}-buffers")
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def process(self, record: Record, ctx: OperatorContext) -> None:
+        side, value = record.value
+        event_time = record.event_time if record.event_time is not None else ctx.processing_time()
+        state = ctx.state(self._descriptor)
+        buffers = state.get("buf")
+        if buffers is None:
+            buffers = {"left": [], "right": []}
+        other_side = "right" if side == "left" else "left"
+        # Match window relative to the LEFT element: right in [tl+lower, tl+upper].
+        for other_time, other_value in buffers[other_side]:
+            t_left, t_right = (event_time, other_time) if side == "left" else (other_time, event_time)
+            if t_left + self.lower <= t_right <= t_left + self.upper:
+                left_v, right_v = (value, other_value) if side == "left" else (other_value, value)
+                ctx.emit(Record(value=self.join_fn(left_v, right_v), event_time=max(t_left, t_right), key=ctx.current_key))
+        buffers[side].append((event_time, value))
+        state.put("buf", buffers)
+        # Expire entries that can no longer match anything.
+        horizon = ctx.current_watermark() - max(abs(self.lower), abs(self.upper))
+        if horizon > float("-inf"):
+            self._expire(state, horizon)
+
+    def on_watermark(self, watermark, ctx: OperatorContext) -> None:
+        ctx.emit(watermark)
+
+    def _expire(self, state: Any, horizon: float) -> None:
+        buffers = state.get("buf")
+        if buffers is None:
+            return
+        changed = False
+        for side in ("left", "right"):
+            kept = [(t, v) for t, v in buffers[side] if t >= horizon]
+            if len(kept) != len(buffers[side]):
+                buffers[side] = kept
+                changed = True
+        if changed:
+            state.put("buf", buffers)

@@ -1,0 +1,317 @@
+"""The keyed window operator: assigner + trigger + evictor + function.
+
+Handles merging (session) windows, allowed lateness with refinements and
+retractions, speculative early firing, punctuation-driven closing, and a
+"late" side output — i.e. the full §2.1/§2.2 window machinery on top of
+keyed state and event-time timers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.core.events import Punctuation, Record, Watermark
+from repro.core.operators.base import Operator, OperatorContext
+from repro.state.api import MapStateDescriptor
+from repro.windows.assigners import WindowAssigner
+from repro.windows.core import TimeWindow
+from repro.windows.evictors import Evictor
+from repro.windows.triggers import Trigger, TriggerResult
+
+LATE_OUTPUT_TAG = "late"
+
+
+@dataclass(frozen=True)
+class WindowResult:
+    """What the window operator emits downstream."""
+
+    key: Any
+    start: float
+    end: float
+    value: Any
+
+
+class WindowFunction:
+    """How buffered/accumulated contents become a result."""
+
+    #: incremental functions keep an accumulator; buffered keep all elements
+    incremental = True
+
+    def create(self) -> Any:
+        """A fresh accumulator (or buffer)."""
+        raise NotImplementedError
+
+    def add(self, acc: Any, value: Any) -> Any:
+        """Fold one element into the accumulator."""
+        raise NotImplementedError
+
+    def merge(self, a: Any, b: Any) -> Any:
+        """Combine two accumulators (session-window merging)."""
+        raise NotImplementedError("this window function cannot merge sessions")
+
+    def result(self, key: Any, window: Any, acc: Any) -> Any:
+        """Produce the window's output from the accumulator."""
+        raise NotImplementedError
+
+
+class AggregateFunction(WindowFunction):
+    incremental = True
+
+    def __init__(
+        self,
+        create: Callable[[], Any],
+        add: Callable[[Any, Any], Any],
+        result: Callable[[Any], Any] = lambda acc: acc,
+        merge: Callable[[Any, Any], Any] | None = None,
+    ) -> None:
+        self._create = create
+        self._add = add
+        self._result = result
+        self._merge = merge
+
+    def create(self) -> Any:
+        return self._create()
+
+    def add(self, acc: Any, value: Any) -> Any:
+        return self._add(acc, value)
+
+    def merge(self, a: Any, b: Any) -> Any:
+        if self._merge is None:
+            raise NotImplementedError(
+                "session windows with an incremental aggregate need merge="
+            )
+        return self._merge(a, b)
+
+    def result(self, key: Any, window: Any, acc: Any) -> Any:
+        return self._result(acc)
+
+
+class ProcessWindowFunction(WindowFunction):
+    """Buffers all elements; ``fn(key, window, values) -> result``."""
+
+    incremental = False
+
+    def __init__(self, fn: Callable[[Any, Any, list[Any]], Any]) -> None:
+        self._fn = fn
+
+    def create(self) -> list[tuple[float, Any]]:
+        return []
+
+    def add(self, acc: list, value: tuple[float, Any]) -> list:
+        acc.append(value)
+        return acc
+
+    def merge(self, a: list, b: list) -> list:
+        return sorted(a + b, key=lambda tv: tv[0])
+
+    def result(self, key: Any, window: Any, acc: list) -> Any:
+        return self._fn(key, window, [v for _t, v in acc])
+
+
+class WindowOperator(Operator):
+    """Keyed windowing with the full trigger/evictor/lateness lifecycle."""
+
+    def __init__(
+        self,
+        assigner: WindowAssigner,
+        function: WindowFunction,
+        trigger: Trigger | None = None,
+        evictor: Evictor | None = None,
+        allowed_lateness: float = 0.0,
+        emit_window_results: bool = True,
+        retract_refinements: bool = False,
+        name: str = "window",
+    ) -> None:
+        self.assigner = assigner
+        self.function = function
+        self.trigger = trigger or assigner.default_trigger()
+        self.evictor = evictor
+        self.allowed_lateness = allowed_lateness
+        self.emit_window_results = emit_window_results
+        self.retract_refinements = retract_refinements
+        self._name = name
+        self._descriptor = MapStateDescriptor(f"{name}-contents")
+        if evictor is not None and function.incremental:
+            raise ValueError("evictors require a buffering (process) window function")
+        self.late_drops = 0
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    # ------------------------------------------------------------------
+    def process(self, record: Record, ctx: OperatorContext) -> None:
+        event_time = record.event_time if record.event_time is not None else ctx.processing_time()
+        watermark = ctx.current_watermark()
+        windows = self.assigner.assign(record.value, event_time)
+        state = ctx.state(self._descriptor)
+        if self.assigner.is_merging:
+            windows = [self._merge_windows(windows[0], state, ctx)]
+        for window in windows:
+            if self._is_expired(window, watermark):
+                self.late_drops += 1
+                ctx.emit_to(LATE_OUTPUT_TAG, record)
+                continue
+            entry = state.get(window)
+            new_window = entry is None
+            if entry is None:
+                entry = {"acc": self.function.create(), "count": 0, "max_ts": event_time, "last": None}
+            payload = (event_time, record.value) if not self.function.incremental else record.value
+            entry["acc"] = self.function.add(entry["acc"], payload)
+            entry["count"] += 1
+            entry["max_ts"] = max(entry["max_ts"], event_time)
+            state.put(window, entry)
+            if new_window and window.end != float("inf"):
+                ctx.register_event_timer(window.end, ("fire", window))
+                if self.allowed_lateness > 0:
+                    ctx.register_event_timer(window.end + self.allowed_lateness, ("cleanup", window))
+                if self.trigger.early_interval is not None:
+                    ctx.register_processing_timer(
+                        ctx.processing_time() + self.trigger.early_interval, ("early", window)
+                    )
+            late_refinement = window.end != float("inf") and watermark >= window.end
+            result = self.trigger.on_element(window, event_time, entry["count"], watermark)
+            if late_refinement and not result.fires:
+                # The window already fired; this is an allowed-lateness
+                # update — emit a refinement immediately.
+                result = TriggerResult.FIRE
+            if result.fires:
+                self._fire(window, ctx, purge=result.purges)
+
+    def _merge_windows(self, new_window: TimeWindow, state: Any, ctx: OperatorContext) -> TimeWindow:
+        """Session merge: coalesce every stored window intersecting the new one."""
+        merged = new_window
+        absorbed: list[TimeWindow] = []
+        grew = True
+        while grew:
+            grew = False
+            for window, _entry in state.items():
+                if window in absorbed:
+                    continue
+                # Sessions merge when they overlap OR touch (inclusive
+                # bounds): an event exactly `gap` after the last one extends
+                # the session. Growth can cascade, so scan to a fixpoint.
+                touches = (
+                    isinstance(window, TimeWindow)
+                    and window.start <= merged.end
+                    and merged.start <= window.end
+                )
+                if touches:
+                    merged = merged.cover(window)
+                    absorbed.append(window)
+                    grew = True
+        if not absorbed:
+            return new_window
+        acc = self.function.create()
+        count = 0
+        max_ts = merged.start
+        for window in absorbed:
+            entry = state.get(window)
+            acc = self.function.merge(acc, entry["acc"])
+            count += entry["count"]
+            max_ts = max(max_ts, entry["max_ts"])
+            state.remove(window)
+        state.put(merged, {"acc": acc, "count": count, "max_ts": max_ts, "last": None})
+        ctx.register_event_timer(merged.end, ("fire", merged))
+        if self.allowed_lateness > 0:
+            ctx.register_event_timer(merged.end + self.allowed_lateness, ("cleanup", merged))
+        return merged
+
+    def _is_expired(self, window: Any, watermark: float) -> bool:
+        end = getattr(window, "end", float("inf"))
+        if end == float("inf"):
+            return False
+        return watermark >= end + self.allowed_lateness
+
+    # ------------------------------------------------------------------
+    def on_event_timer(self, timestamp: float, key: Any, payload: Any, ctx: OperatorContext) -> None:
+        kind, window = payload
+        state = ctx.state(self._descriptor)
+        entry = state.get(window)
+        if entry is None:
+            return  # merged away or already purged
+        if kind == "fire":
+            trigger_result = self.trigger.on_event_time(timestamp, window)
+            if trigger_result.fires:
+                purge = trigger_result.purges and self.allowed_lateness == 0
+                self._fire(window, ctx, purge=purge)
+        elif kind == "cleanup":
+            state.remove(window)
+
+    def on_processing_timer(self, timestamp: float, key: Any, payload: Any, ctx: OperatorContext) -> None:
+        kind, window = payload
+        if kind != "early":
+            return
+        state = ctx.state(self._descriptor)
+        entry = state.get(window)
+        if entry is None:
+            return
+        if self.trigger.on_early_timer(window).fires:
+            self._fire(window, ctx, purge=False, speculative=True)
+        if self.trigger.early_interval is not None:
+            ctx.register_processing_timer(timestamp + self.trigger.early_interval, ("early", window))
+
+    def on_punctuation(self, punctuation: Punctuation, ctx: OperatorContext) -> None:
+        """Offer the punctuation to every live window's trigger, then forward it."""
+        backend_keys = self._all_keys(ctx)
+        original_key = ctx.current_key
+        for key in backend_keys:
+            ctx.current_key_value = key  # type: ignore[attr-defined]
+            state = ctx.state(self._descriptor)
+            for window, _entry in state.items():
+                result = self.trigger.on_punctuation(punctuation, window)
+                if result.fires:
+                    self._fire(window, ctx, purge=result.purges)
+        ctx.current_key_value = original_key  # type: ignore[attr-defined]
+        ctx.emit(punctuation)
+
+    def _all_keys(self, ctx: OperatorContext) -> list[Any]:
+        task = getattr(ctx, "_task", None)
+        if task is None:
+            return []
+        return list(task.state_backend.keys(self._descriptor))
+
+    # ------------------------------------------------------------------
+    def _fire(self, window: Any, ctx: OperatorContext, purge: bool, speculative: bool = False) -> None:
+        state = ctx.state(self._descriptor)
+        entry = state.get(window)
+        if entry is None or entry["count"] == 0:
+            return
+        key = ctx.current_key
+        acc = entry["acc"]
+        if self.evictor is not None:
+            kept = self.evictor.evict(list(acc), window)
+            acc = kept
+            entry["acc"] = kept
+        value = self.function.result(key, window, acc)
+        start = getattr(window, "start", float("-inf"))
+        end = getattr(window, "end", float("inf"))
+        event_time = end if end != float("inf") else entry["max_ts"]
+        output = WindowResult(key, start, end, value) if self.emit_window_results else value
+        retract_previous = self.retract_refinements and entry.get("last") is not None
+        if retract_previous:
+            ctx.emit(
+                Record(
+                    value=entry["last"],
+                    event_time=event_time,
+                    key=key,
+                    sign=-1,
+                )
+            )
+        ctx.emit(Record(value=output, event_time=event_time, key=key))
+        if purge:
+            state.remove(window)
+        else:
+            entry["last"] = output
+            state.put(window, entry)
+
+    def flush(self, ctx: OperatorContext) -> None:
+        # Bounded input: the MAX watermark has already fired all event
+        # timers; anything left has an infinite end (global/count windows).
+        for key in self._all_keys(ctx):
+            ctx.current_key_value = key  # type: ignore[attr-defined]
+            state = ctx.state(self._descriptor)
+            for window, entry in state.items():
+                if entry["count"] > 0 and getattr(window, "end", float("inf")) == float("inf"):
+                    self._fire(window, ctx, purge=True)

@@ -1,0 +1,87 @@
+"""Fluent windowing surface: ``keyed.window(assigner).aggregate(...)``."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.datastream import DataStream, KeyedStream
+from repro.windows.assigners import WindowAssigner
+from repro.windows.evictors import Evictor
+from repro.windows.operator import (
+    AggregateFunction,
+    ProcessWindowFunction,
+    WindowFunction,
+    WindowOperator,
+)
+from repro.windows.triggers import Trigger
+
+
+class WindowedStream:
+    """A keyed stream with a window assigner attached."""
+
+    def __init__(
+        self,
+        keyed: KeyedStream,
+        assigner: WindowAssigner,
+        trigger: Trigger | None = None,
+        evictor: Evictor | None = None,
+        allowed_lateness: float = 0.0,
+    ) -> None:
+        self._keyed = keyed
+        self._assigner = assigner
+        self._trigger = trigger
+        self._evictor = evictor
+        self._allowed_lateness = allowed_lateness
+
+    def _apply(self, function: WindowFunction, name: str, retract: bool = False, **kwargs: Any) -> DataStream:
+        assigner = self._assigner
+        trigger = self._trigger
+        evictor = self._evictor
+        lateness = self._allowed_lateness
+
+        def factory() -> WindowOperator:
+            return WindowOperator(
+                assigner,
+                function,
+                trigger=trigger,
+                evictor=evictor,
+                allowed_lateness=lateness,
+                retract_refinements=retract,
+                name=name,
+            )
+
+        return self._keyed._connect(name, factory, **kwargs)
+
+    def aggregate(
+        self,
+        create: Callable[[], Any],
+        add: Callable[[Any, Any], Any],
+        result: Callable[[Any], Any] = lambda acc: acc,
+        merge: Callable[[Any, Any], Any] | None = None,
+        name: str = "window-agg",
+        retract: bool = False,
+        **kwargs: Any,
+    ) -> DataStream:
+        """Incremental windowed aggregate with (create, add, result[, merge])."""
+        return self._apply(AggregateFunction(create, add, result, merge), name, retract=retract, **kwargs)
+
+    def reduce(self, fn: Callable[[Any, Any], Any], name: str = "window-reduce", **kwargs: Any) -> DataStream:
+        """Windowed reduce over the element type."""
+        def add(acc: Any, value: Any) -> Any:
+            return value if acc is None else fn(acc, value)
+
+        return self._apply(
+            AggregateFunction(lambda: None, add, lambda acc: acc, merge=lambda a, b: b if a is None else (a if b is None else fn(a, b))),
+            name,
+            **kwargs,
+        )
+
+    def count(self, name: str = "window-count", **kwargs: Any) -> DataStream:
+        """Windowed element count (session-mergeable)."""
+        return self.aggregate(
+            lambda: 0, lambda acc, _v: acc + 1, merge=lambda a, b: a + b, name=name, **kwargs
+        )
+
+    def apply(self, fn: Callable[[Any, Any, list[Any]], Any], name: str = "window-apply", **kwargs: Any) -> DataStream:
+        """Buffered window function ``fn(key, window, values)``."""
+        return self._apply(ProcessWindowFunction(fn), name, **kwargs)

@@ -1,0 +1,129 @@
+"""Window triggers: when to emit (and whether to keep) window contents.
+
+The trigger abstraction is where the survey's completeness/latency tension
+shows up concretely: :class:`EventTimeTrigger` waits for the watermark
+(complete but delayed); :class:`EarlyFiringTrigger` emits speculative
+partial results that later firings revise — the §2.2 "ingest out-of-order,
+adjust later" strategy; :class:`PunctuationTrigger` closes windows from
+in-band punctuations (§2.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.core.events import Punctuation
+
+
+class TriggerResult(enum.Enum):
+    CONTINUE = "continue"
+    FIRE = "fire"  # emit, keep contents (allows refinements)
+    FIRE_AND_PURGE = "fire_and_purge"  # emit, drop contents
+
+    @property
+    def fires(self) -> bool:
+        return self is not TriggerResult.CONTINUE
+
+    @property
+    def purges(self) -> bool:
+        return self is TriggerResult.FIRE_AND_PURGE
+
+
+class Trigger:
+    """Per-window firing policy; stateless unless noted (operator keeps any
+    per-window trigger counters in keyed state it passes via ``trigger_state``)."""
+
+    def on_element(
+        self, window: Any, event_time: float, element_count: int, watermark: float
+    ) -> TriggerResult:
+        """Called per element added to the window."""
+        return TriggerResult.CONTINUE
+
+    def on_event_time(self, timestamp: float, window: Any) -> TriggerResult:
+        """Called when an event-time timer for the window fires."""
+        return TriggerResult.CONTINUE
+
+    def on_punctuation(self, punctuation: Punctuation, window: Any) -> TriggerResult:
+        """Called when a punctuation reaches the operator."""
+        return TriggerResult.CONTINUE
+
+    #: early-firing triggers want a processing-time callback interval
+    early_interval: float | None = None
+
+    def on_early_timer(self, window: Any) -> TriggerResult:
+        """Called on the early-firing processing-time interval."""
+        return TriggerResult.CONTINUE
+
+
+class EventTimeTrigger(Trigger):
+    """Fire exactly when the watermark passes the window end (the default)."""
+
+    def on_event_time(self, timestamp: float, window: Any) -> TriggerResult:
+        if timestamp >= window.end:
+            return TriggerResult.FIRE_AND_PURGE
+        return TriggerResult.CONTINUE
+
+
+class CountTrigger(Trigger):
+    """Fire every ``count`` elements (count windows, global windows)."""
+
+    def __init__(self, count: int) -> None:
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        self.count = count
+
+    def on_element(
+        self, window: Any, event_time: float, element_count: int, watermark: float
+    ) -> TriggerResult:
+        if element_count >= self.count:
+            return TriggerResult.FIRE_AND_PURGE
+        return TriggerResult.CONTINUE
+
+
+class PunctuationTrigger(Trigger):
+    """Close a window when a punctuation asserts no more of its elements.
+
+    The punctuation's ``bound`` is interpreted as an event-time bound: a
+    window whose end is at or below it can never grow again.
+    """
+
+    def on_punctuation(self, punctuation: Punctuation, window: Any) -> TriggerResult:
+        try:
+            closed = window.end <= punctuation.bound
+        except TypeError:
+            closed = False
+        if closed:
+            return TriggerResult.FIRE_AND_PURGE
+        return TriggerResult.CONTINUE
+
+    def on_event_time(self, timestamp: float, window: Any) -> TriggerResult:
+        # Also honour watermarks so mixed-progress pipelines terminate.
+        if timestamp >= window.end:
+            return TriggerResult.FIRE_AND_PURGE
+        return TriggerResult.CONTINUE
+
+
+class EarlyFiringTrigger(Trigger):
+    """Speculative results: FIRE (without purging) on every ``interval`` of
+    processing time, then FIRE_AND_PURGE at the watermark. Downstream
+    consumers receive refinements; with ``retract=True`` the window operator
+    retracts the previous speculative result first (z-set style)."""
+
+    def __init__(self, interval: float, retract: bool = True) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.early_interval = interval
+        self.retract = retract
+
+    def on_early_timer(self, window: Any) -> TriggerResult:
+        return TriggerResult.FIRE
+
+    def on_event_time(self, timestamp: float, window: Any) -> TriggerResult:
+        if timestamp >= window.end:
+            return TriggerResult.FIRE_AND_PURGE
+        return TriggerResult.CONTINUE
+
+
+class NeverTrigger(Trigger):
+    """Never fires (global windows awaiting an explicit policy)."""

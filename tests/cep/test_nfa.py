@@ -1,0 +1,197 @@
+"""NFA pattern matching: semantics, quantifiers, skip strategies, windows."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cep.nfa import NFA
+from repro.cep.patterns import Pattern, SkipStrategy
+
+
+def feed(nfa, events):
+    matches = []
+    for i, value in enumerate(events):
+        matches.extend(nfa.advance(value, float(i), key="k"))
+    return matches
+
+
+class TestBasicSequences:
+    def test_two_stage_relaxed(self):
+        pattern = Pattern.begin("a", lambda v: v == "a").followed_by("b", lambda v: v == "b")
+        matches = feed(NFA(pattern), ["a", "x", "b"])
+        assert [[e[1] for e in m.events] for m in matches] == [["a", "b"]]
+
+    def test_strict_contiguity_kills_on_gap(self):
+        pattern = Pattern.begin("a", lambda v: v == "a").next("b", lambda v: v == "b")
+        assert feed(NFA(pattern), ["a", "x", "b"]) == []
+        matches = feed(NFA(pattern), ["a", "b"])
+        assert len(matches) == 1
+
+    def test_every_start_candidate_tracked(self):
+        pattern = Pattern.begin("a", lambda v: v == "a").followed_by("b", lambda v: v == "b")
+        matches = feed(NFA(pattern), ["a", "a", "b"])
+        assert len(matches) == 2
+
+    def test_iterative_condition_sees_partial_match(self):
+        pattern = Pattern.begin("first", lambda v: True).followed_by(
+            "bigger", lambda v, partial: v > partial["first"][0]
+        )
+        matches = feed(NFA(pattern), [5, 3, 7])
+        values = sorted([e[1] for e in m.events] for m in matches)
+        assert [5, 7] in values
+        assert [3, 7] in values
+
+
+class TestQuantifiers:
+    def test_times_exactly(self):
+        pattern = (
+            Pattern.begin("start", lambda v: v == "s")
+            .followed_by("mid", lambda v: v == "m")
+            .times_exactly(2)
+            .followed_by("end", lambda v: v == "e")
+        )
+        matches = feed(NFA(pattern), ["s", "m", "m", "e"])
+        assert [[e[1] for e in m.events] for m in matches] == [["s", "m", "m", "e"]]
+
+    def test_one_or_more_produces_all_lengths(self):
+        pattern = Pattern.begin("a", lambda v: v == "a").one_or_more().followed_by(
+            "b", lambda v: v == "b"
+        )
+        matches = feed(NFA(pattern), ["a", "a", "b"])
+        lengths = sorted(len(m.events) for m in matches)
+        assert lengths == [2, 2, 3]
+
+    def test_optional_stage_skippable(self):
+        pattern = (
+            Pattern.begin("a", lambda v: v == "a")
+            .followed_by("maybe", lambda v: v == "m")
+            .optional()
+            .followed_by("b", lambda v: v == "b")
+        )
+        with_m = feed(NFA(pattern), ["a", "m", "b"])
+        without_m = feed(NFA(pattern), ["a", "b"])
+        assert any(len(m.events) == 3 for m in with_m)
+        assert any(len(m.events) == 2 for m in without_m)
+
+
+class TestWindow:
+    def test_within_prunes_old_runs(self):
+        pattern = (
+            Pattern.begin("a", lambda v: v == "a")
+            .followed_by("b", lambda v: v == "b")
+            .within(2.0)
+        )
+        nfa = NFA(pattern)
+        nfa.advance("a", 0.0, key="k")
+        assert nfa.advance("b", 5.0, key="k") == []  # too late
+
+    def test_within_allows_inside_window(self):
+        pattern = (
+            Pattern.begin("a", lambda v: v == "a")
+            .followed_by("b", lambda v: v == "b")
+            .within(2.0)
+        )
+        nfa = NFA(pattern)
+        nfa.advance("a", 0.0, key="k")
+        assert len(nfa.advance("b", 1.5, key="k")) == 1
+
+    def test_expire_before_garbage_collects(self):
+        pattern = Pattern.begin("a", lambda v: v == "a").followed_by(
+            "b", lambda v: v == "b"
+        ).within(1.0)
+        nfa = NFA(pattern)
+        for t in range(5):
+            nfa.advance("a", float(t), key="k")
+        dropped = nfa.expire_before(10.0)
+        assert dropped == nfa.active_runs + dropped - nfa.active_runs  # dropped >= 0
+        assert nfa.active_runs == 0
+
+
+class TestSkipStrategies:
+    def kleene_pattern(self, skip):
+        # a+ b: kleene runs survive a match (they keep looping on 'a'), so
+        # after-match strategies actually have partial runs to discard.
+        return (
+            Pattern.begin("a", lambda v: v == "a")
+            .one_or_more()
+            .followed_by("b", lambda v: v == "b")
+            .with_skip(skip)
+        )
+
+    STREAM = ["a", "a", "b", "a", "b"]
+
+    def test_simple_two_stage_matches_complete_together(self):
+        pattern = Pattern.begin("a", lambda v: v == "a").followed_by("b", lambda v: v == "b")
+        matches = feed(NFA(pattern), ["a", "a", "b", "b"])
+        # The first b completes both pending runs; completed runs are gone,
+        # so the second b matches nothing.
+        assert len(matches) == 2
+
+    def test_skip_past_last_drops_overlapping_runs(self):
+        no_skip = feed(NFA(self.kleene_pattern(SkipStrategy.NO_SKIP)), self.STREAM)
+        past_last = feed(NFA(self.kleene_pattern(SkipStrategy.SKIP_PAST_LAST)), self.STREAM)
+        assert len(past_last) < len(no_skip)
+        # Matches found after the first batch must start past that batch's
+        # end (no overlapping partial runs survived).
+        first_end = min(m.ended_at for m in past_last)
+        later = [m for m in past_last if m.ended_at > first_end]
+        assert all(m.started_at > first_end for m in later)
+
+    def test_skip_to_next_drops_same_start_runs(self):
+        no_skip = feed(NFA(self.kleene_pattern(SkipStrategy.NO_SKIP)), self.STREAM)
+        to_next = feed(NFA(self.kleene_pattern(SkipStrategy.SKIP_TO_NEXT)), self.STREAM)
+        assert len(to_next) <= len(no_skip)
+
+    def test_state_bounded_under_skip(self):
+        def drive(nfa):
+            for i in range(120):
+                nfa.advance("a", float(i), key="k")
+                if i % 6 == 5:
+                    nfa.advance("b", float(i) + 0.5, key="k")
+            return nfa
+
+        skip = drive(NFA(self.kleene_pattern(SkipStrategy.SKIP_PAST_LAST)))
+        no_skip = drive(NFA(self.kleene_pattern(SkipStrategy.NO_SKIP)))
+        assert skip.peak_runs < no_skip.peak_runs
+
+
+class TestStateManagement:
+    def test_snapshot_restore_mid_pattern(self):
+        pattern = Pattern.begin("a", lambda v: v == "a").followed_by("b", lambda v: v == "b")
+        nfa = NFA(pattern)
+        nfa.advance("a", 0.0, key="k")
+        snapshot = nfa.snapshot()
+        fresh = NFA(pattern)
+        fresh.restore(snapshot)
+        assert len(fresh.advance("b", 1.0, key="k")) == 1
+
+    def test_max_runs_bounds_state(self):
+        pattern = Pattern.begin("a", lambda v: True).followed_by("b", lambda v: False)
+        nfa = NFA(pattern, max_runs=10)
+        for i in range(50):
+            nfa.advance("a", float(i), key="k")
+        assert nfa.active_runs == 10
+        assert nfa.overflowed == 40
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.sampled_from("ab"), min_size=0, max_size=12))
+def test_matches_equal_bruteforce_subsequences(events):
+    """Property: for the relaxed pattern a→b (skip-till-next-match), the
+    match set equals all (i, j) pairs with i < j, events[i]=a, events[j]=b,
+    and no other 'b' strictly between run-start and j (the run takes the
+    FIRST b after its a)."""
+    pattern = Pattern.begin("a", lambda v: v == "a").followed_by("b", lambda v: v == "b")
+    nfa = NFA(pattern)
+    got = []
+    for i, value in enumerate(events):
+        for match in nfa.advance(value, float(i), key="k"):
+            got.append((match.started_at, match.ended_at))
+    expected = []
+    for i, v in enumerate(events):
+        if v != "a":
+            continue
+        for j in range(i + 1, len(events)):
+            if events[j] == "b":
+                expected.append((float(i), float(j)))
+                break  # first b only (skip-till-next-match takes it)
+    assert sorted(got) == sorted(expected)

@@ -1,0 +1,96 @@
+"""Incremental snapshot chains."""
+
+import pytest
+
+from repro.checkpoint.incremental import IncrementalSnapshotter, restore_chain
+from repro.errors import CheckpointError
+from repro.state import InMemoryStateBackend, ValueStateDescriptor
+
+DESC = ValueStateDescriptor("acc")
+
+
+def make():
+    snapshotter = IncrementalSnapshotter(InMemoryStateBackend())
+    snapshotter.register(DESC)
+    return snapshotter
+
+
+class TestDeltaTracking:
+    def test_first_snapshot_is_full(self):
+        snapshotter = make()
+        snapshotter.put(DESC, "a", 1)
+        snapshot = snapshotter.delta_snapshot()
+        assert snapshot.is_full
+
+    def test_delta_contains_only_changes(self):
+        snapshotter = make()
+        for key in range(100):
+            snapshotter.put(DESC, key, key)
+        base = snapshotter.full_snapshot()
+        snapshotter.put(DESC, 5, 500)
+        snapshotter.put(DESC, 200, 200)
+        delta = snapshotter.delta_snapshot()
+        assert not delta.is_full
+        assert set(delta.entries["acc"].keys()) == {5, 200}
+        assert delta.size_bytes() < base.size_bytes() / 5
+
+    def test_deletes_tracked_as_tombstones(self):
+        snapshotter = make()
+        snapshotter.put(DESC, "a", 1)
+        snapshotter.put(DESC, "b", 2)
+        base = snapshotter.full_snapshot()
+        snapshotter.delete(DESC, "a")
+        delta = snapshotter.delta_snapshot()
+        target = InMemoryStateBackend()
+        target.register(DESC)
+        restore_chain(target, [base, delta])
+        assert target.get(DESC, "a") is None
+        assert target.get(DESC, "b") == 2
+
+    def test_rewrite_after_delete_is_a_put(self):
+        snapshotter = make()
+        snapshotter.put(DESC, "a", 1)
+        snapshotter.full_snapshot()
+        snapshotter.delete(DESC, "a")
+        snapshotter.put(DESC, "a", 9)
+        delta = snapshotter.delta_snapshot()
+        assert list(delta.entries["acc"].keys()) == ["a"]
+
+
+class TestRestoreChain:
+    def build_chain(self):
+        snapshotter = make()
+        snapshotter.put(DESC, "a", 1)
+        snapshotter.put(DESC, "b", 2)
+        base = snapshotter.full_snapshot()
+        snapshotter.put(DESC, "a", 10)
+        snapshotter.delete(DESC, "b")
+        snapshotter.put(DESC, "c", 3)
+        delta1 = snapshotter.delta_snapshot()
+        snapshotter.put(DESC, "d", 4)
+        delta2 = snapshotter.delta_snapshot()
+        return [base, delta1, delta2]
+
+    def test_roundtrip(self):
+        chain = self.build_chain()
+        target = InMemoryStateBackend()
+        target.register(DESC)
+        restore_chain(target, chain)
+        assert target.get(DESC, "a") == 10
+        assert target.get(DESC, "b") is None
+        assert target.get(DESC, "c") == 3
+        assert target.get(DESC, "d") == 4
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(CheckpointError):
+            restore_chain(InMemoryStateBackend(), [])
+
+    def test_chain_must_start_full(self):
+        chain = self.build_chain()
+        with pytest.raises(CheckpointError, match="full"):
+            restore_chain(InMemoryStateBackend(), chain[1:])
+
+    def test_broken_chain_order_rejected(self):
+        chain = self.build_chain()
+        with pytest.raises(CheckpointError, match="broken chain"):
+            restore_chain(InMemoryStateBackend(), [chain[0], chain[2]])

@@ -1,0 +1,6 @@
+"""Pytest configuration: make tests/ importable as a package root."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,81 @@
+"""Tests for the stream element data model."""
+
+from repro.core.events import (
+    CheckpointBarrier,
+    EndOfStream,
+    Heartbeat,
+    Punctuation,
+    Record,
+    Watermark,
+    record,
+)
+
+
+class TestRecord:
+    def test_with_value_preserves_metadata(self):
+        r = Record(value=1, event_time=2.0, key="k", ingest_time=0.5)
+        r2 = r.with_value(10)
+        assert r2.value == 10
+        assert r2.event_time == 2.0
+        assert r2.key == "k"
+        assert r2.ingest_time == 0.5
+
+    def test_with_key_and_event_time(self):
+        r = record(5)
+        assert r.with_key("a").key == "a"
+        assert r.with_event_time(3.0).event_time == 3.0
+
+    def test_retraction_flips_sign(self):
+        r = record(5)
+        retraction = r.as_retraction()
+        assert retraction.sign == -1
+        assert retraction.is_retraction
+        assert retraction.as_retraction().sign == 1
+
+    def test_is_record_flag(self):
+        assert record(1).is_record
+        assert not Watermark(1.0).is_record
+        assert not EndOfStream().is_record
+
+
+class TestWatermark:
+    def test_ordering(self):
+        assert Watermark(1.0) < Watermark(2.0)
+        assert not Watermark(2.0) < Watermark(1.0)
+
+    def test_equality(self):
+        assert Watermark(1.5) == Watermark(1.5)
+
+
+class TestPunctuation:
+    def test_matches_dict_attribute(self):
+        p = Punctuation(attribute="ts", bound=10)
+        assert p.matches({"ts": 5})
+        assert p.matches({"ts": 10})
+        assert not p.matches({"ts": 11})
+
+    def test_matches_object_attribute(self):
+        class Event:
+            ts = 3
+
+        p = Punctuation(attribute="ts", bound=5)
+        assert p.matches(Event())
+
+    def test_missing_attribute_does_not_match(self):
+        p = Punctuation(attribute="ts", bound=5)
+        assert not p.matches({"other": 1})
+
+    def test_custom_predicate_wins(self):
+        p = Punctuation(attribute="ts", bound=0, predicate=lambda v: v["x"] == 1)
+        assert p.matches({"x": 1, "ts": 99})
+
+
+class TestControlElements:
+    def test_barrier_fields(self):
+        b = CheckpointBarrier(checkpoint_id=3, timestamp=1.0)
+        assert b.checkpoint_id == 3
+
+    def test_heartbeat_fields(self):
+        h = Heartbeat(source_id="s", timestamp=2.0)
+        assert h.source_id == "s"
+        assert h.timestamp == 2.0

@@ -1,0 +1,114 @@
+"""Tests for logical graph construction and validation."""
+
+import pytest
+
+from repro.core.graph import Partitioning, StreamGraph
+from repro.core.operators.base import Operator
+from repro.errors import GraphError
+
+
+def make_graph():
+    g = StreamGraph("t")
+    src = g.add_node("src", Operator, is_source=True)
+    mid = g.add_node("mid", Operator)
+    snk = g.add_node("snk", Operator)
+    return g, src, mid, snk
+
+
+class TestConstruction:
+    def test_edges_and_lookups(self):
+        g, src, mid, snk = make_graph()
+        g.add_edge(src, mid)
+        g.add_edge(mid, snk)
+        assert [e.target_id for e in g.outputs_of(src.node_id)] == [mid.node_id]
+        assert [e.source_id for e in g.inputs_of(snk.node_id)] == [mid.node_id]
+        assert g.sources() == [src]
+        assert g.sinks() == [snk]
+        assert g.node_by_name("mid") is mid
+
+    def test_unknown_node_name_raises(self):
+        g, *_ = make_graph()
+        with pytest.raises(GraphError):
+            g.node_by_name("nope")
+
+    def test_zero_parallelism_rejected(self):
+        g = StreamGraph()
+        with pytest.raises(GraphError):
+            g.add_node("bad", Operator, parallelism=0)
+
+    def test_forward_edge_requires_equal_parallelism(self):
+        g = StreamGraph()
+        a = g.add_node("a", Operator, parallelism=2, is_source=True)
+        b = g.add_node("b", Operator, parallelism=3)
+        with pytest.raises(GraphError, match="forward"):
+            g.add_edge(a, b, partitioning=Partitioning.FORWARD)
+        g.add_edge(a, b, partitioning=Partitioning.REBALANCE)  # fine
+
+    def test_edge_to_unknown_node_raises(self):
+        g, src, *_ = make_graph()
+        with pytest.raises(GraphError):
+            g.add_edge(src.node_id, 999)
+
+
+class TestValidation:
+    def test_valid_linear_graph_passes(self):
+        g, src, mid, snk = make_graph()
+        g.add_edge(src, mid)
+        g.add_edge(mid, snk)
+        g.validate()
+
+    def test_no_sources_rejected(self):
+        g = StreamGraph()
+        g.add_node("a", Operator)
+        with pytest.raises(GraphError, match="no sources"):
+            g.validate()
+
+    def test_cycle_without_feedback_rejected(self):
+        g, src, mid, snk = make_graph()
+        g.add_edge(src, mid)
+        g.add_edge(mid, snk)
+        g.add_edge(snk, mid)  # cycle
+        with pytest.raises(GraphError, match="cycle"):
+            g.validate()
+
+    def test_feedback_marked_cycle_accepted(self):
+        g, src, mid, snk = make_graph()
+        g.add_edge(src, mid)
+        g.add_edge(mid, snk)
+        g.add_edge(snk, mid, is_feedback=True)
+        g.validate()
+
+    def test_source_with_data_input_rejected(self):
+        g, src, mid, _ = make_graph()
+        g.add_edge(mid, src)
+        with pytest.raises(GraphError, match="data inputs"):
+            g.validate()
+
+
+class TestTopologicalOrder:
+    def test_linear_order(self):
+        g, src, mid, snk = make_graph()
+        g.add_edge(src, mid)
+        g.add_edge(mid, snk)
+        assert [n.name for n in g.topological_order()] == ["src", "mid", "snk"]
+
+    def test_diamond_order_respects_dependencies(self):
+        g = StreamGraph()
+        a = g.add_node("a", Operator, is_source=True)
+        b = g.add_node("b", Operator)
+        c = g.add_node("c", Operator)
+        d = g.add_node("d", Operator)
+        g.add_edge(a, b)
+        g.add_edge(a, c)
+        g.add_edge(b, d)
+        g.add_edge(c, d)
+        order = [n.name for n in g.topological_order()]
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("a") < order.index("c") < order.index("d")
+
+    def test_feedback_edges_ignored_in_ordering(self):
+        g, src, mid, snk = make_graph()
+        g.add_edge(src, mid)
+        g.add_edge(mid, snk)
+        g.add_edge(snk, mid, is_feedback=True)
+        assert [n.name for n in g.topological_order()] == ["src", "mid", "snk"]

@@ -1,0 +1,73 @@
+"""Tests for key hashing, key groups, and rescale-friendly assignment."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.keys import (
+    field_selector,
+    key_group_for,
+    key_group_range,
+    operator_index_for_group,
+    stable_hash,
+    subtask_for_key,
+)
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash("user-42") == stable_hash("user-42")
+        assert stable_hash(42) == stable_hash(42)
+
+    def test_int_and_string_keys_supported(self):
+        assert isinstance(stable_hash(7), int)
+        assert isinstance(stable_hash(("a", 1)), int)
+
+
+class TestKeyGroups:
+    @given(st.one_of(st.integers(), st.text()), st.sampled_from([32, 128, 256]))
+    def test_key_group_in_range(self, key, max_par):
+        assert 0 <= key_group_for(key, max_par) < max_par
+
+    @given(st.integers(min_value=0, max_value=127), st.integers(min_value=1, max_value=64))
+    def test_group_maps_to_valid_subtask(self, group, parallelism):
+        idx = operator_index_for_group(group, 128, parallelism)
+        assert 0 <= idx < parallelism
+
+    def test_ranges_partition_all_groups(self):
+        for parallelism in (1, 2, 3, 5, 7, 128):
+            covered = []
+            for subtask in range(parallelism):
+                covered.extend(key_group_range(subtask, parallelism, 128))
+            assert sorted(covered) == list(range(128))
+
+    def test_range_agrees_with_index_function(self):
+        for parallelism in (1, 2, 3, 5):
+            for subtask in range(parallelism):
+                for group in key_group_range(subtask, parallelism, 128):
+                    assert operator_index_for_group(group, 128, parallelism) == subtask
+
+    @given(st.text(min_size=1))
+    def test_rescale_only_moves_boundary_groups(self, key):
+        # A key's group never changes; only its subtask assignment does.
+        g1 = key_group_for(key, 128)
+        g2 = key_group_for(key, 128)
+        assert g1 == g2
+
+    def test_subtask_for_key_consistent_with_groups(self):
+        for key in ["a", "b", 7, ("x", 2)]:
+            group = key_group_for(key, 128)
+            assert subtask_for_key(key, 4, 128) == operator_index_for_group(group, 128, 4)
+
+
+class TestFieldSelector:
+    def test_dict_field(self):
+        assert field_selector("user")({"user": "u1"}) == "u1"
+
+    def test_tuple_index(self):
+        assert field_selector(0)(("a", "b")) == "a"
+
+    def test_attribute_fallback(self):
+        class Obj:
+            user = "u9"
+
+        assert field_selector("user")(Obj()) == "u9"

@@ -1,0 +1,59 @@
+"""Tests for serialization."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.serde import JsonSerde, PickleSerde
+from repro.errors import SerializationError
+
+json_values = st.recursive(
+    st.none() | st.booleans() | st.integers() | st.floats(allow_nan=False) | st.text(),
+    lambda children: st.lists(children) | st.dictionaries(st.text(), children),
+    max_leaves=10,
+)
+
+
+class TestPickleSerde:
+    @given(json_values)
+    def test_roundtrip(self, value):
+        serde = PickleSerde()
+        assert serde.deserialize(serde.serialize(value)) == value
+
+    def test_copy_is_deep(self):
+        serde = PickleSerde()
+        original = {"a": [1, 2]}
+        copy = serde.copy(original)
+        copy["a"].append(3)
+        assert original == {"a": [1, 2]}
+
+    def test_unpicklable_raises_framework_error(self):
+        serde = PickleSerde()
+        with pytest.raises(SerializationError):
+            serde.serialize(lambda x: x)
+
+    def test_bad_bytes_raise(self):
+        with pytest.raises(SerializationError):
+            PickleSerde().deserialize(b"not-a-pickle")
+
+    def test_size_of_is_positive(self):
+        assert PickleSerde().size_of({"k": 1}) > 0
+
+
+class TestJsonSerde:
+    @given(json_values)
+    def test_roundtrip(self, value):
+        serde = JsonSerde()
+        assert serde.deserialize(serde.serialize(value)) == value
+
+    def test_non_json_value_raises(self):
+        with pytest.raises(SerializationError):
+            JsonSerde().serialize({"x": object()})
+
+    def test_bad_bytes_raise(self):
+        with pytest.raises(SerializationError):
+            JsonSerde().deserialize(b"{nope")
+
+    def test_output_is_canonical(self):
+        serde = JsonSerde()
+        assert serde.serialize({"b": 1, "a": 2}) == serde.serialize({"a": 2, "b": 1})

@@ -1,0 +1,160 @@
+"""CQL continuous-query semantics, checked against hand-computed instants
+and a brute-force reference."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cql.execution import ContinuousQuery
+from repro.errors import CQLSemanticError, CQLSyntaxError
+
+
+class TestStreamToRelation:
+    def test_range_window_expires_tuples(self):
+        q = ContinuousQuery("SELECT RSTREAM v FROM s RANGE 10")
+        out = q.run({"s": [(0.0, {"v": 1}), (5.0, {"v": 2}), (11.0, {"v": 3})]})
+        by_ts = {}
+        for o in out:
+            by_ts.setdefault(o.timestamp, []).append(o.value["v"])
+        assert by_ts[0.0] == [1]
+        assert sorted(by_ts[5.0]) == [1, 2]
+        assert sorted(by_ts[11.0]) == [2, 3]  # v=1 expired (0 <= 11-10)
+
+    def test_rows_window_keeps_last_n(self):
+        q = ContinuousQuery("SELECT RSTREAM v FROM s ROWS 2")
+        out = q.run({"s": [(i, {"v": i}) for i in range(4)]})
+        last_instant = [o.value["v"] for o in out if o.timestamp == 3]
+        assert sorted(last_instant) == [2, 3]
+
+    def test_now_window_is_instantaneous(self):
+        q = ContinuousQuery("SELECT RSTREAM v FROM s NOW")
+        out = q.run({"s": [(0.0, {"v": 1}), (1.0, {"v": 2})]})
+        assert [(o.timestamp, o.value["v"]) for o in out] == [(0.0, 1), (1.0, 2)]
+
+
+class TestRelationToStream:
+    def test_istream_emits_only_new(self):
+        q = ContinuousQuery("SELECT ISTREAM v FROM s RANGE 100")
+        out = q.run({"s": [(0.0, {"v": 1}), (1.0, {"v": 2})]})
+        assert [(o.timestamp, o.value["v"]) for o in out] == [(0.0, 1), (1.0, 2)]
+
+    def test_dstream_emits_deletions(self):
+        q = ContinuousQuery("SELECT DSTREAM v FROM s RANGE 5")
+        out = q.run({"s": [(0.0, {"v": 1}), (6.0, {"v": 2})]})
+        deletes = [o for o in out if o.kind == "delete"]
+        assert [(o.timestamp, o.value["v"]) for o in deletes] == [(6.0, 1)]
+
+    def test_istream_with_aggregate_emits_changes_only(self):
+        q = ContinuousQuery("SELECT ISTREAM k, COUNT(*) AS n FROM s RANGE 100 GROUP BY k")
+        out = q.run({"s": [(0.0, {"k": "a"}), (1.0, {"k": "a"}), (2.0, {"k": "b"})]})
+        assert [(o.timestamp, o.value["k"], o.value["n"]) for o in out] == [
+            (0.0, "a", 1),
+            (1.0, "a", 2),
+            (2.0, "b", 1),
+        ]
+
+
+class TestRelationalAlgebra:
+    def test_where_and_projection(self):
+        q = ContinuousQuery("SELECT v * 2 AS doubled FROM s NOW WHERE v > 1")
+        out = q.run({"s": [(0.0, {"v": 1}), (1.0, {"v": 3})]})
+        assert [(o.timestamp, o.value) for o in out] == [(1.0, {"doubled": 6})]
+
+    def test_join_across_streams(self):
+        q = ContinuousQuery(
+            "SELECT a.x, b.y FROM s1 RANGE 10 AS a, s2 RANGE 10 AS b WHERE a.k = b.k"
+        )
+        out = q.run(
+            {
+                "s1": [(0.0, {"k": 1, "x": "left"})],
+                "s2": [(1.0, {"k": 1, "y": "right"}), (2.0, {"k": 2, "y": "no"})],
+            }
+        )
+        values = [o.value for o in out]
+        assert {"x": "left", "y": "right"} in values
+        assert all(v.get("y") != "no" for v in values)
+
+    def test_group_by_with_having(self):
+        q = ContinuousQuery(
+            "SELECT k, COUNT(*) AS n FROM s RANGE 100 GROUP BY k HAVING COUNT(*) >= 2"
+        )
+        out = q.run({"s": [(0.0, {"k": "a"}), (1.0, {"k": "b"}), (2.0, {"k": "a"})]})
+        final = [o.value for o in out if o.timestamp == 2.0]
+        assert final == [{"k": "a", "n": 2}]
+
+    def test_aggregates(self):
+        q = ContinuousQuery(
+            "SELECT k, SUM(v) AS s, MIN(v) AS lo, MAX(v) AS hi, AVG(v) AS m "
+            "FROM s RANGE 100 GROUP BY k"
+        )
+        out = q.run({"s": [(0.0, {"k": 1, "v": 2}), (1.0, {"k": 1, "v": 4})]})
+        final = out[-1].value
+        assert final == {"k": 1, "s": 6, "lo": 2, "hi": 4, "m": 3.0}
+
+    def test_ambiguous_column_rejected(self):
+        q = ContinuousQuery("SELECT x FROM s1 NOW AS a, s2 NOW AS b")
+        with pytest.raises(CQLSemanticError, match="ambiguous"):
+            q.run({"s1": [(0.0, {"x": 1})], "s2": [(0.0, {"x": 2})]})
+
+    def test_missing_stream_input_rejected(self):
+        q = ContinuousQuery("SELECT * FROM s NOW")
+        with pytest.raises(CQLSemanticError, match="no input"):
+            q.run({})
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(st.integers(min_value=-5, max_value=5), min_size=1, max_size=30),
+    window=st.sampled_from([2.0, 5.0, 10.0]),
+)
+def test_range_sum_matches_bruteforce(values, window):
+    """Property: RSTREAM SUM over RANGE w == brute-force sum of tuples with
+    arrival in (t - w, t]."""
+    stream = [(float(i), {"v": v, "k": 0}) for i, v in enumerate(values)]
+    q = ContinuousQuery(f"SELECT RSTREAM k, SUM(v) AS s FROM s RANGE {window} GROUP BY k")
+    out = q.run({"s": stream})
+    for o in out:
+        t = o.timestamp
+        expected = sum(v for (ts, row) in stream for v in [row["v"]] if t - window < ts <= t)
+        assert o.value["s"] == expected
+
+
+class TestPartitionedWindows:
+    def test_partition_by_rows_keeps_last_n_per_key(self):
+        q = ContinuousQuery("SELECT RSTREAM user, v FROM s PARTITION BY user ROWS 2")
+        stream = [
+            (0.0, {"user": "a", "v": 1}),
+            (1.0, {"user": "a", "v": 2}),
+            (2.0, {"user": "b", "v": 3}),
+            (3.0, {"user": "a", "v": 4}),  # evicts a's v=1, keeps b's v=3
+        ]
+        out = q.run({"s": stream})
+        final = sorted(
+            (o.value["user"], o.value["v"]) for o in out if o.timestamp == 3.0
+        )
+        assert final == [("a", 2), ("a", 4), ("b", 3)]
+
+    def test_partition_by_multiple_columns(self):
+        q = ContinuousQuery("SELECT RSTREAM a, b FROM s PARTITION BY a, b ROWS 1")
+        stream = [
+            (0.0, {"a": 1, "b": 1}),
+            (1.0, {"a": 1, "b": 2}),
+            (2.0, {"a": 1, "b": 1}),
+        ]
+        out = q.run({"s": stream})
+        final = [(o.value["a"], o.value["b"]) for o in out if o.timestamp == 2.0]
+        assert sorted(final) == [(1, 1), (1, 2)]
+
+    def test_missing_partition_column_rejected(self):
+        q = ContinuousQuery("SELECT * FROM s PARTITION BY ghost ROWS 1")
+        with pytest.raises(CQLSemanticError, match="PARTITION BY"):
+            q.run({"s": [(0.0, {"x": 1})]})
+
+    def test_partitioned_aggregate(self):
+        # Last-2-per-user window feeding a grouped average.
+        q = ContinuousQuery(
+            "SELECT RSTREAM user, AVG(v) AS recent FROM s PARTITION BY user ROWS 2 GROUP BY user"
+        )
+        stream = [(float(i), {"user": "u", "v": v}) for i, v in enumerate([10, 20, 30])]
+        out = q.run({"s": stream})
+        assert out[-1].value == {"user": "u", "recent": 25.0}

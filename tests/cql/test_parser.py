@@ -1,0 +1,123 @@
+"""CQL lexer and parser."""
+
+import pytest
+
+from repro.cql.ast import Aggregate, BinaryOp, Column, Literal, StreamOp, WindowKind
+from repro.cql.lexer import tokenize
+from repro.cql.parser import parse_query
+from repro.errors import CQLSyntaxError
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select Istream FROM")
+        assert [t.text for t in tokens[:-1]] == ["SELECT", "ISTREAM", "FROM"]
+
+    def test_numbers_strings_symbols(self):
+        tokens = tokenize("x >= 1.5 AND name = 'bob'")
+        kinds = [t.kind for t in tokens[:-1]]
+        assert kinds == ["IDENT", "SYMBOL", "NUMBER", "KEYWORD", "IDENT", "SYMBOL", "STRING"]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(CQLSyntaxError, match="unterminated"):
+            tokenize("SELECT 'oops")
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(CQLSyntaxError):
+            tokenize("SELECT #")
+
+
+class TestParserStructure:
+    def test_full_query(self):
+        query = parse_query(
+            "SELECT ISTREAM station, AVG(speed) AS avg_speed "
+            "FROM traffic RANGE 30 SECONDS SLIDE 5 AS t "
+            "WHERE speed > 0 GROUP BY station HAVING COUNT(*) > 2"
+        )
+        assert query.stream_op is StreamOp.ISTREAM
+        assert len(query.select) == 2
+        assert query.select[1].alias == "avg_speed"
+        [item] = query.sources
+        assert item.stream == "traffic"
+        assert item.alias == "t"
+        assert item.window.kind is WindowKind.RANGE
+        assert item.window.size == 30.0
+        assert item.window.slide == 5.0
+        assert query.where is not None
+        assert query.group_by == (Column("station"),)
+        assert query.having is not None
+        assert query.is_aggregate
+
+    def test_select_star_and_default_window(self):
+        query = parse_query("SELECT * FROM s")
+        assert query.select == ()
+        assert query.sources[0].window.kind is WindowKind.UNBOUNDED
+        assert query.stream_op is StreamOp.NONE
+
+    def test_rows_now_unbounded_windows(self):
+        assert parse_query("SELECT * FROM s ROWS 5").sources[0].window.size == 5
+        assert parse_query("SELECT * FROM s NOW").sources[0].window.kind is WindowKind.NOW
+        assert (
+            parse_query("SELECT * FROM s UNBOUNDED").sources[0].window.kind
+            is WindowKind.UNBOUNDED
+        )
+
+    def test_multiple_from_items(self):
+        query = parse_query("SELECT a.x FROM s1 ROWS 1 AS a, s2 ROWS 1 AS b")
+        assert len(query.sources) == 2
+
+    def test_qualified_columns(self):
+        query = parse_query("SELECT a.x FROM s AS a")
+        expr = query.select[0].expr
+        assert expr == Column("x", qualifier="a")
+
+
+class TestExpressions:
+    def test_precedence_and_over_or(self):
+        query = parse_query("SELECT * FROM s WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(query.where, BinaryOp)
+        assert query.where.op == "OR"
+        assert query.where.right.op == "AND"
+
+    def test_arithmetic_precedence(self):
+        query = parse_query("SELECT a + b * 2 AS v FROM s")
+        expr = query.select[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_count_star(self):
+        query = parse_query("SELECT COUNT(*) FROM s GROUP BY k")
+        assert query.select[0].expr == Aggregate("COUNT", None)
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(CQLSyntaxError):
+            parse_query("SELECT SUM(*) FROM s")
+
+    def test_not_and_unary_minus(self):
+        query = parse_query("SELECT * FROM s WHERE NOT a = -1")
+        assert query.where.op == "NOT"
+
+    def test_parenthesized(self):
+        query = parse_query("SELECT * FROM s WHERE (a = 1 OR b = 2) AND c = 3")
+        assert query.where.op == "AND"
+        assert query.where.left.op == "OR"
+
+    def test_literals(self):
+        query = parse_query("SELECT * FROM s WHERE x = 'a' AND y = TRUE AND z = 2.5")
+        # no exception + structure sanity
+        assert query.where.op == "AND"
+
+
+class TestErrors:
+    def test_missing_from(self):
+        with pytest.raises(CQLSyntaxError, match="FROM"):
+            parse_query("SELECT *")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(CQLSyntaxError):
+            parse_query("SELECT * FROM s extra nonsense ( ")
+
+    def test_output_names(self):
+        query = parse_query("SELECT k, COUNT(*), SUM(v) FROM s GROUP BY k")
+        names = [item.output_name(i) for i, item in enumerate(query.select)]
+        assert names == ["k", "count_*", "sum_v"]

@@ -1,0 +1,44 @@
+"""Smoke tests: every shipped example runs end-to-end and prints output."""
+
+import importlib.util
+import io
+import os
+import sys
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "fraud_detection.py",
+    "ride_sharing.py",
+    "cloud_order_app.py",
+    "cql_queries.py",
+    "approximate_analytics.py",
+    "evolution_tour.py",
+]
+
+
+def load_module(filename):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, filename))
+    spec = importlib.util.spec_from_file_location(filename[:-3], path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("filename", EXAMPLES)
+def test_example_runs(filename):
+    module = load_module(filename)
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        module.main()
+    output = buffer.getvalue()
+    assert len(output.splitlines()) >= 3, f"{filename} printed almost nothing"
+
+
+def test_example_list_is_complete():
+    shipped = {f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")}
+    assert shipped == set(EXAMPLES), "keep the smoke-test list in sync with examples/"

@@ -1,0 +1,87 @@
+"""Incremental SSSP: equivalence with Dijkstra and work savings."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.paths import INF, IncrementalSSSP, RecomputeSSSP
+from repro.graphs.stream import EdgeEvent
+
+
+class TestBasics:
+    def test_insert_relaxes_distances(self):
+        sssp = IncrementalSSSP(0)
+        sssp.apply(EdgeEvent("insert", 0, 1, 5.0))
+        sssp.apply(EdgeEvent("insert", 1, 2, 2.0))
+        assert sssp.distance(2) == 7.0
+        sssp.apply(EdgeEvent("insert", 0, 2, 4.0))  # shortcut
+        assert sssp.distance(2) == 4.0
+
+    def test_weight_increase_reroutes(self):
+        sssp = IncrementalSSSP(0)
+        sssp.apply(EdgeEvent("insert", 0, 1, 1.0))
+        sssp.apply(EdgeEvent("insert", 0, 2, 5.0))
+        sssp.apply(EdgeEvent("insert", 1, 2, 1.0))
+        assert sssp.distance(2) == 2.0
+        sssp.apply(EdgeEvent("insert", 1, 2, 10.0))  # worsen the shortcut
+        assert sssp.distance(2) == 5.0
+
+    def test_delete_disconnects(self):
+        sssp = IncrementalSSSP(0)
+        sssp.apply(EdgeEvent("insert", 0, 1, 1.0))
+        sssp.apply(EdgeEvent("delete", 0, 1))
+        assert sssp.distance(1) == INF
+
+    def test_unreachable_is_inf(self):
+        sssp = IncrementalSSSP(0)
+        sssp.apply(EdgeEvent("insert", 5, 6, 1.0))
+        assert sssp.distance(6) == INF
+
+
+events_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "insert", "insert", "delete"]),
+        st.integers(min_value=0, max_value=11),
+        st.integers(min_value=0, max_value=11),
+        st.floats(min_value=0.5, max_value=9.5, allow_nan=False),
+    ),
+    max_size=50,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(events=events_strategy)
+def test_incremental_matches_dijkstra(events):
+    inc = IncrementalSSSP(0)
+    base = RecomputeSSSP(0)
+    for op, u, v, w in events:
+        if u == v:
+            continue
+        event = EdgeEvent(op, u, v, round(w, 2))
+        inc.apply(event)
+        base.apply(event)
+        for node in range(12):
+            a, b = inc.distance(node), base.distance(node)
+            assert abs(a - b) < 1e-9 or (a == INF and b == INF)
+
+
+def test_incremental_does_less_work():
+    rng = random.Random(9)
+    inc = IncrementalSSSP(0)
+    base = RecomputeSSSP(0)
+    edges = []
+    for _ in range(400):
+        if edges and rng.random() < 0.2:
+            u, v, w = rng.choice(edges)
+            event = EdgeEvent("delete", u, v, w)
+        else:
+            u, v = rng.randrange(30), rng.randrange(30)
+            if u == v:
+                continue
+            w = round(rng.uniform(1, 10), 2)
+            event = EdgeEvent("insert", u, v, w)
+            edges.append((u, v, w))
+        inc.apply(event)
+        base.apply(event)
+    assert inc.relaxations < base.relaxations / 2

@@ -1,0 +1,103 @@
+"""Streaming random walks and co-occurrence embeddings."""
+
+import pytest
+
+from repro.graphs.stream import DynamicGraph, EdgeEvent
+from repro.graphs.walks import CooccurrenceEmbedding, StreamingRandomWalks
+
+
+def ring(walker, n=6):
+    for i in range(n):
+        walker.apply(EdgeEvent("insert", i, (i + 1) % n))
+
+
+class TestWalks:
+    def test_walks_created_for_touched_nodes(self):
+        walker = StreamingRandomWalks(walk_length=4, walks_per_node=2, seed=1)
+        ring(walker)
+        for node in range(6):
+            walks = walker.walks_of(node)
+            assert len(walks) == 2
+            for walk in walks:
+                assert walk[0] == node
+                assert len(walk) == 4
+
+    def test_walk_steps_follow_edges(self):
+        walker = StreamingRandomWalks(walk_length=5, walks_per_node=3, seed=2)
+        ring(walker)
+        for node in range(6):
+            for walk in walker.walks_of(node):
+                for a, b in zip(walk, walk[1:]):
+                    assert walker.graph.has_edge(a, b)
+
+    def test_walks_refreshed_after_deletion(self):
+        walker = StreamingRandomWalks(walk_length=4, walks_per_node=2, seed=3)
+        ring(walker)
+        walker.apply(EdgeEvent("delete", 0, 1))
+        for node in range(6):
+            for walk in walker.walks_of(node):
+                for a, b in zip(walk, walk[1:]):
+                    assert walker.graph.has_edge(a, b), "walk crosses a deleted edge"
+
+    def test_isolated_node_has_stub_walks(self):
+        walker = StreamingRandomWalks(walk_length=4, seed=4)
+        walker.apply(EdgeEvent("insert", 0, 1))
+        walker.apply(EdgeEvent("delete", 0, 1))
+        for walk in walker.walks_of(0):
+            assert walk == [0]
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingRandomWalks(walk_length=1)
+
+
+class TestEmbedding:
+    def test_cooccurrence_window(self):
+        emb = CooccurrenceEmbedding(window=2)
+        emb.ingest_walk(["a", "b", "c", "d"])
+        assert emb.cooccurrence("a", "b") == 1
+        assert emb.cooccurrence("a", "c") == 1
+        assert emb.cooccurrence("a", "d") == 0  # beyond window
+
+    def test_similarity_reflects_structure(self):
+        walker = StreamingRandomWalks(walk_length=6, walks_per_node=6, seed=5)
+        # Two triangles joined by one bridge: 0-1-2 and 3-4-5, bridge 2-3.
+        for u, v in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]:
+            walker.apply(EdgeEvent("insert", u, v))
+        emb = CooccurrenceEmbedding(window=2)
+        for node in range(6):
+            for walk in walker.walks_of(node):
+                emb.ingest_walk(walk)
+        # Same-cluster similarity should beat cross-cluster (0 vs 5).
+        assert emb.similarity(0, 1) > emb.similarity(0, 5)
+
+    def test_top_similar_ranks(self):
+        emb = CooccurrenceEmbedding(window=2)
+        for _ in range(5):
+            emb.ingest_walk(["x", "y", "z"])
+        emb.ingest_walk(["x", "q"])
+        top = emb.top_similar("x", k=2)
+        assert top[0][0] == "'y'"
+
+
+class TestDynamicGraph:
+    def test_insert_delete_roundtrip(self):
+        graph = DynamicGraph()
+        assert graph.apply(EdgeEvent("insert", "a", "b", 2.0))
+        assert graph.has_edge("a", "b")
+        assert graph.weight("b", "a") == 2.0
+        assert graph.apply(EdgeEvent("delete", "a", "b"))
+        assert not graph.has_edge("a", "b")
+        assert not graph.apply(EdgeEvent("delete", "a", "b"))  # already gone
+
+    def test_edges_enumerated_once(self):
+        graph = DynamicGraph()
+        graph.apply(EdgeEvent("insert", 1, 2))
+        graph.apply(EdgeEvent("insert", 2, 3))
+        assert graph.edge_count == 2
+        assert len(list(graph.edges())) == 2
+
+    def test_unknown_op_rejected(self):
+        graph = DynamicGraph()
+        with pytest.raises(ValueError):
+            graph.apply(EdgeEvent("upsert", 1, 2))

@@ -1,0 +1,120 @@
+"""Accelerator cost model, kernels, and the micro-batch operator."""
+
+import numpy as np
+import pytest
+
+from repro.core.datastream import StreamExecutionEnvironment
+from repro.hardware.accel import (
+    AcceleratorModel,
+    MicroBatchAcceleratedOperator,
+    scalar_filter_project,
+    scalar_window_sums,
+    vectorized_filter_project,
+    vectorized_window_sums,
+)
+from repro.hardware.nvram import RecoveryTimeModel
+from repro.io.sinks import CollectSink
+from repro.io.sources import SensorWorkload
+from repro.runtime.config import EngineConfig
+
+
+class TestModel:
+    def test_crossover_exists(self):
+        model = AcceleratorModel(launch_overhead=20e-6, speedup=16.0)
+        crossover = model.crossover_batch(per_element_cpu=2e-6)
+        assert not model.wins(int(crossover * 0.5), 2e-6)
+        assert model.wins(int(crossover * 2) + 1, 2e-6)
+
+    def test_speedup_one_never_wins(self):
+        model = AcceleratorModel(launch_overhead=1e-6, speedup=1.0)
+        assert model.crossover_batch(1e-6) == float("inf")
+
+    def test_times_scale_linearly(self):
+        model = AcceleratorModel(launch_overhead=10e-6, speedup=10.0)
+        assert model.cpu_time(100, 1e-6) == pytest.approx(1e-4)
+        assert model.accelerated_time(100, 1e-6) == pytest.approx(10e-6 + 1e-5)
+
+
+class TestKernels:
+    def test_window_sums_agree(self):
+        values = [float(i % 7) for i in range(1000)]
+        scalar = scalar_window_sums(values, 32)
+        vectorized = vectorized_window_sums(np.array(values), 32)
+        assert np.allclose(scalar, vectorized)
+
+    def test_remainder_window_included(self):
+        values = [1.0] * 10
+        assert scalar_window_sums(values, 4) == [4.0, 4.0, 2.0]
+        assert list(vectorized_window_sums(np.array(values), 4)) == [4.0, 4.0, 2.0]
+
+    def test_filter_project_agree(self):
+        rows = [{"amount": float(i)} for i in range(100)]
+        amounts = np.array([r["amount"] for r in rows])
+        assert np.allclose(
+            scalar_filter_project(rows, 50.0), vectorized_filter_project(amounts, 50.0)
+        )
+
+
+class TestMicroBatchOperator:
+    def run_pipeline(self, batch_size, use_accelerator, count=1024):
+        env = StreamExecutionEnvironment(EngineConfig())
+        ops = []
+
+        def factory():
+            op = MicroBatchAcceleratedOperator(
+                kernel=lambda values: [sum(v["reading"] for v in values)],
+                batch_size=batch_size,
+                model=AcceleratorModel(launch_overhead=50e-6, speedup=16.0),
+                per_element_cpu=2e-5,
+                use_accelerator=use_accelerator,
+            )
+            ops.append(op)
+            return op
+
+        sink = (
+            env.from_workload(SensorWorkload(count=count, rate=50000.0, key_count=4, seed=6))
+            .apply_operator(factory, name="accel")
+            .collect("out")
+        )
+        env.execute()
+        return ops[0], sink
+
+    def test_all_records_accounted(self):
+        op, sink = self.run_pipeline(batch_size=64, use_accelerator=True)
+        assert op.batches_run == 1024 // 64
+        assert len(sink.results) == op.batches_run
+
+    def test_accelerator_wins_at_large_batches(self):
+        accel_op, _ = self.run_pipeline(batch_size=512, use_accelerator=True)
+        cpu_op, _ = self.run_pipeline(batch_size=512, use_accelerator=False)
+        assert accel_op.total_kernel_time < cpu_op.total_kernel_time
+
+    def test_accelerator_loses_at_tiny_batches(self):
+        accel_op, _ = self.run_pipeline(batch_size=1, use_accelerator=True)
+        cpu_op, _ = self.run_pipeline(batch_size=1, use_accelerator=False)
+        assert accel_op.total_kernel_time > cpu_op.total_kernel_time
+
+    def test_flush_drains_partial_batch(self):
+        op, sink = self.run_pipeline(batch_size=1000, use_accelerator=True, count=1024)
+        assert op.batches_run == 2  # one full + one flushed partial
+        assert len(sink.results) == 2
+
+
+class TestNVRAMModel:
+    def test_nvram_recovery_much_faster_for_large_state(self):
+        model = RecoveryTimeModel()
+        state = 10 * 1024**3  # 10 GB
+        dram = model.dram_checkpoint_recovery(state)
+        nvram = model.nvram_recovery(state)
+        assert nvram.recovery_seconds < dram.recovery_seconds / 10
+        assert model.speedup(state) > 10
+
+    def test_small_state_speedup_modest(self):
+        model = RecoveryTimeModel()
+        assert model.speedup(1024) < model.speedup(10 * 1024**3)
+
+    def test_churn_adds_replay_cost(self):
+        model = RecoveryTimeModel()
+        quiet = model.dram_checkpoint_recovery(1024**3, churn_bytes=0)
+        churny = model.dram_checkpoint_recovery(1024**3, churn_bytes=500 * 1024**2)
+        assert churny.recovery_seconds > quiet.recovery_seconds

@@ -1,0 +1,142 @@
+"""Model serving: embedded vs RPC, registry versioning (E12's mechanics)."""
+
+from repro.core.datastream import StreamExecutionEnvironment
+from repro.io.sinks import CollectSink
+from repro.io.sources import TransactionWorkload
+from repro.ml.features import transaction_features
+from repro.ml.serving import (
+    EmbeddedTrainServeOperator,
+    ExternalModelServer,
+    ModelRegistry,
+    RPCServingOperator,
+)
+from repro.runtime.config import EngineConfig
+
+import numpy as np
+import pytest
+
+
+def fraud_workload(count=3000):
+    return TransactionWorkload(count=count, rate=2000.0, key_count=100, fraud_fraction=0.1, seed=8)
+
+
+class TestRegistry:
+    def test_publish_and_active(self):
+        registry = ModelRegistry()
+        assert registry.active() is None
+        registry.publish(np.array([1.0]), created_at=0.0, samples_seen=10)
+        registry.publish(np.array([2.0]), created_at=1.0, samples_seen=20)
+        assert registry.active().version == 2
+        assert registry.version_count == 2
+
+    def test_rollback(self):
+        registry = ModelRegistry()
+        registry.publish(np.array([1.0]), 0.0, 10)
+        registry.publish(np.array([2.0]), 1.0, 20)
+        registry.rollback(1)
+        assert registry.active().version == 1
+        assert registry.active().weights[0] == 1.0
+
+    def test_rollback_unknown_version_rejected(self):
+        registry = ModelRegistry()
+        with pytest.raises(ValueError):
+            registry.rollback(3)
+
+    def test_published_weights_are_copies(self):
+        registry = ModelRegistry()
+        weights = np.array([1.0])
+        registry.publish(weights, 0.0, 1)
+        weights[0] = 99.0
+        assert registry.active().weights[0] == 1.0
+
+
+def run_embedded(count=3000):
+    env = StreamExecutionEnvironment(EngineConfig())
+    registry = ModelRegistry()
+    ops = []
+
+    def factory():
+        op = EmbeddedTrainServeOperator(
+            transaction_features(), label_of=lambda v: v["label"], registry=registry,
+            publish_every=250,
+        )
+        ops.append(op)
+        return op
+
+    sink = (
+        env.from_workload(fraud_workload(count))
+        .apply_operator(factory, name="serve")
+        .collect("pred")
+    )
+    env.execute()
+    return ops[0], sink, registry
+
+
+class TestEmbeddedServing:
+    def test_online_model_beats_chance(self):
+        op, sink, _registry = run_embedded()
+        # Prequential accuracy over the later half should be solid.
+        later = sink.results[len(sink.results) // 2 :]
+        correct = sum(1 for r in later if r.value.predicted == r.value.label)
+        assert correct / len(later) > 0.9
+
+    def test_zero_staleness(self):
+        _op, sink, _registry = run_embedded(1000)
+        assert all(r.value.model_staleness == 0.0 for r in sink.results)
+
+    def test_models_versioned_during_run(self):
+        _op, sink, registry = run_embedded()
+        assert registry.version_count == 12  # 3000 / 250
+        versions = [r.value.model_version for r in sink.results]
+        assert versions == sorted(versions)
+
+    def test_snapshot_restore_preserves_model(self):
+        op, _sink, _registry = run_embedded(500)
+        snapshot = op.snapshot_state()
+        fresh = EmbeddedTrainServeOperator(
+            transaction_features(), label_of=lambda v: v["label"]
+        )
+        fresh.restore_state(snapshot)
+        assert np.allclose(fresh.model.weights, op.model.weights)
+        assert fresh.total == op.total
+
+
+class TestRPCServing:
+    def run_rpc(self, count=2000, push_interval=0.5, rpc_latency=2e-3):
+        env = StreamExecutionEnvironment(EngineConfig())
+        server = ExternalModelServer(transaction_features().dim, rpc_latency=rpc_latency)
+        ops = []
+
+        def factory():
+            op = RPCServingOperator(
+                transaction_features(),
+                label_of=lambda v: v["label"],
+                server=server,
+                push_interval=push_interval,
+            )
+            ops.append(op)
+            return op
+
+        sink = (
+            env.from_workload(fraud_workload(count))
+            .apply_operator(factory, name="rpc")
+            .collect("pred")
+        )
+        env.execute()
+        return ops[0], sink, server
+
+    def test_rpc_latency_on_critical_path(self):
+        _op, sink, server = self.run_rpc(count=800, rpc_latency=5e-3)
+        stats = sink.latency_summary()
+        assert stats.p50 >= 5e-3  # every prediction pays the round trip
+        assert server.calls == 800
+
+    def test_model_staleness_tracks_push_interval(self):
+        op, _sink, _server = self.run_rpc(count=2000, push_interval=0.4)
+        assert op.mean_staleness > 0.05
+        assert max(op.staleness_samples) <= 0.4 + 1e-6
+
+    def test_embedded_latency_beats_rpc(self):
+        _eop, embedded_sink, _r = (lambda: run_embedded(800))()
+        _rop, rpc_sink, _s = self.run_rpc(count=800)
+        assert embedded_sink.latency_summary().p50 < rpc_sink.latency_summary().p50

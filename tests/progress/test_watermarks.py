@@ -1,0 +1,114 @@
+"""Watermark strategies and the min-merger."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.progress.watermarks import (
+    AscendingTimestamps,
+    BoundedOutOfOrderness,
+    NoWatermarks,
+    ProcessingTimeLag,
+    PunctuatedWatermarks,
+    WatermarkMerger,
+)
+
+
+class TestBoundedOutOfOrderness:
+    def test_watermark_lags_max_by_bound(self):
+        strategy = BoundedOutOfOrderness(bound=5.0)
+        strategy.on_event(None, 10.0, now=0.0)
+        strategy.on_event(None, 7.0, now=0.1)  # disorder doesn't regress max
+        wm = strategy.on_periodic(now=0.2)
+        assert wm.timestamp == 5.0
+
+    def test_no_watermark_before_any_event(self):
+        strategy = BoundedOutOfOrderness(bound=1.0)
+        assert strategy.on_periodic(now=10.0) is None
+
+    def test_negative_bound_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            BoundedOutOfOrderness(-1.0)
+
+    def test_fresh_does_not_share_state(self):
+        strategy = BoundedOutOfOrderness(1.0)
+        strategy.on_event(None, 100.0, now=0.0)
+        fresh = strategy.fresh()
+        assert fresh.on_periodic(now=0.0) is None
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1))
+    def test_periodic_outputs_are_monotone(self, times):
+        strategy = BoundedOutOfOrderness(2.0)
+        last = float("-inf")
+        for t in times:
+            strategy.on_event(None, t, now=t)
+            wm = strategy.on_periodic(now=t)
+            if wm is not None:
+                assert wm.timestamp >= last
+                last = wm.timestamp
+
+
+class TestOtherStrategies:
+    def test_ascending(self):
+        strategy = AscendingTimestamps()
+        strategy.on_event(None, 3.0, now=0.0)
+        assert strategy.on_periodic(0.0).timestamp == 3.0
+
+    def test_punctuated_extracts_from_payload(self):
+        strategy = PunctuatedWatermarks(lambda v, t: v.get("wm"))
+        assert strategy.on_event({"wm": 9.0}, None, 0.0).timestamp == 9.0
+        assert strategy.on_event({"x": 1}, None, 0.0) is None
+
+    def test_processing_time_lag(self):
+        strategy = ProcessingTimeLag(lag=2.0)
+        assert strategy.on_periodic(now=10.0).timestamp == 8.0
+
+    def test_no_watermarks_is_silent(self):
+        strategy = NoWatermarks()
+        assert strategy.on_event(None, 5.0, 0.0) is None
+        assert strategy.on_periodic(0.0) is None
+        assert strategy.periodic_interval is None
+
+
+class TestMerger:
+    def test_min_over_channels(self):
+        merger = WatermarkMerger(2)
+        assert merger.update(0, 10.0) is None  # channel 1 still at -inf
+        assert merger.update(1, 5.0) == 5.0
+        assert merger.update(1, 20.0) == 10.0  # now channel 0 is the min
+
+    def test_regression_ignored(self):
+        merger = WatermarkMerger(1)
+        merger.update(0, 10.0)
+        assert merger.update(0, 5.0) is None
+        assert merger.current == 10.0
+
+    def test_dynamic_channel_add_starts_at_current(self):
+        merger = WatermarkMerger(1)
+        merger.update(0, 7.0)
+        slot = merger.add_channel()
+        assert merger.current == 7.0
+        assert merger.channel_watermarks[slot] == 7.0
+
+    def test_retire_channel_unblocks_progress(self):
+        merger = WatermarkMerger(2)
+        merger.update(0, 50.0)
+        assert merger.current == float("-inf")
+        advanced = merger.retire_channel(1)
+        assert advanced == 50.0
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=2), st.floats(0, 1e5, allow_nan=False)),
+            min_size=1,
+        )
+    )
+    def test_merged_watermark_is_monotone(self, updates):
+        merger = WatermarkMerger(3)
+        last = float("-inf")
+        for channel, t in updates:
+            advanced = merger.update(channel, t)
+            if advanced is not None:
+                assert advanced >= last
+                last = advanced

@@ -1,0 +1,153 @@
+"""Queryable state: snapshot isolation vs direct access, scatter-gather."""
+
+import pytest
+
+from repro.core.datastream import StreamExecutionEnvironment
+from repro.core.keys import field_selector
+from repro.errors import QueryableStateError
+from repro.io.sinks import CollectSink
+from repro.io.sources import SensorWorkload
+from repro.queryable.server import QueryableStateService, StateView
+from repro.runtime.config import EngineConfig
+from repro.state.api import ValueStateDescriptor
+
+
+def build(parallelism=2, count=800):
+    env = StreamExecutionEnvironment(EngineConfig())
+    (
+        env.from_workload(SensorWorkload(count=count, rate=4000.0, key_count=8, seed=2))
+        .key_by(field_selector("sensor"), parallelism=parallelism)
+        .aggregate(create=lambda: 0, add=lambda a, _v: a + 1, name="count", parallelism=parallelism)
+        .sink(CollectSink("out"), parallelism=1)
+    )
+    return env
+
+
+DESC = ValueStateDescriptor("count-acc")
+
+
+class TestPointQueries:
+    def test_query_during_execution(self):
+        env = build()
+        engine = env.build()
+        service = QueryableStateService(engine)
+        observed = []
+
+        def ask():
+            result = service.query("count", DESC, "s0")
+            observed.append(result.value)
+
+        engine.kernel.call_at(0.1, ask)
+        env.execute()
+        final = service.query("count", DESC, "s0").value
+        assert observed[0] is not None
+        assert observed[0] < final  # mid-run count below final
+
+    def test_query_routes_to_owning_partition(self):
+        env = build()
+        engine = env.build()
+        service = QueryableStateService(engine)
+        env.execute()
+        total = sum(
+            service.query("count", DESC, f"s{i}").value or 0 for i in range(8)
+        )
+        assert total == 800
+
+    def test_async_query_pays_latency(self):
+        env = build(count=400)
+        engine = env.build()
+        service = QueryableStateService(engine, query_latency=5e-3)
+        results = []
+        engine.kernel.call_at(0.05, lambda: service.query("count", DESC, "s1", callback=results.append))
+        env.execute()
+        [result] = results
+        assert abs(result.latency - 5e-3) < 1e-9
+
+    def test_unknown_consistency_rejected(self):
+        env = build(count=100)
+        engine = env.build()
+        service = QueryableStateService(engine)
+        with pytest.raises(QueryableStateError):
+            service.query("count", DESC, "s0", consistency="weird")
+
+
+class TestIsolation:
+    def build_list_state_pipeline(self):
+        """Pipeline whose state is a mutable list — the torn-read hazard."""
+        from repro.state.api import ListStateDescriptor
+
+        env = StreamExecutionEnvironment(EngineConfig())
+        desc = ListStateDescriptor("trail")
+
+        def track(record, ctx):
+            ctx.state(desc).add(record.value["seq"])
+            ctx.emit(record)
+
+        (
+            env.from_workload(SensorWorkload(count=600, rate=4000.0, key_count=2, seed=4))
+            .key_by(field_selector("sensor"))
+            .process(track, name="track")
+            .sink(CollectSink("out"))
+        )
+        return env, desc
+
+    def test_snapshot_queries_are_isolated_from_mutation(self):
+        env, desc = self.build_list_state_pipeline()
+        engine = env.build()
+        service = QueryableStateService(engine)
+        captured = {}
+
+        def ask():
+            result = service.query("track", desc, "s0", consistency="snapshot")
+            captured["snapshot"] = result.value
+            captured["len_at_query"] = len(result.value)
+
+        engine.kernel.call_at(0.05, ask)
+        env.execute()
+        # The pipeline kept appending after the query; a snapshot must not
+        # have grown with it.
+        assert len(captured["snapshot"]) == captured["len_at_query"]
+        final = service.query("track", desc, "s0").value
+        assert len(final) > len(captured["snapshot"])
+
+    def test_direct_queries_expose_live_mutation(self):
+        env, desc = self.build_list_state_pipeline()
+        engine = env.build()
+        service = QueryableStateService(engine)
+        captured = {}
+
+        def ask():
+            result = service.query("track", desc, "s0", consistency="direct")
+            captured["direct"] = result.value
+            captured["len_at_query"] = len(result.value)
+
+        engine.kernel.call_at(0.05, ask)
+        env.execute()
+        # The live reference mutated underneath the reader: torn read.
+        assert len(captured["direct"]) > captured["len_at_query"]
+
+
+class TestScatterGatherAndViews:
+    def test_query_all_partitions(self):
+        env = build()
+        engine = env.build()
+        service = QueryableStateService(engine)
+        env.execute()
+        table = service.query_all("count", DESC)
+        assert len(table) == 8
+        assert sum(table.values()) == 800
+
+    def test_state_view_versions_over_time(self):
+        env = build()
+        engine = env.build()
+        service = QueryableStateService(engine)
+        view = StateView(service, "count", DESC, refresh_interval=0.05)
+        view.start()
+        env.execute()
+        assert len(view.versions) >= 2
+        totals = [sum(v.values()) for _t, v in view.versions]
+        assert totals == sorted(totals)  # counts only grow
+        # The view stops refreshing when the job finishes; its last version
+        # is a valid prefix of the final state.
+        assert sum(view.latest().values()) <= 800
+        assert sum(service.query_all("count", DESC).values()) == 800

@@ -1,0 +1,173 @@
+"""Task-level mechanics: alignment, timers, watermark merging, FIFO links."""
+
+from repro.core.datastream import StreamExecutionEnvironment, connect_streams
+from repro.core.events import Record
+from repro.core.keys import field_selector
+from repro.io import CollectSink, CollectionWorkload, SensorWorkload
+from repro.progress.watermarks import BoundedOutOfOrderness
+from repro.runtime.config import CheckpointConfig, CheckpointMode, EngineConfig
+
+
+class TestBarrierAlignment:
+    def build_two_input_job(self, mode):
+        config = EngineConfig(seed=21, checkpoints=CheckpointConfig(interval=0.05, mode=mode))
+        env = StreamExecutionEnvironment(config)
+        a = env.from_workload(
+            SensorWorkload(count=400, rate=2000.0, key_count=4, seed=111), name="a"
+        )
+        b = env.from_workload(
+            SensorWorkload(count=400, rate=2000.0, key_count=4, seed=112), name="b"
+        )
+        sink = CollectSink("out")
+        a.union(b).key_by(field_selector("sensor")).aggregate(
+            create=lambda: 0, add=lambda acc, _v: acc + 1, name="count"
+        ).sink(sink)
+        return env, sink
+
+    def test_aligned_checkpoint_with_multiple_inputs_completes(self):
+        env, _sink = self.build_two_input_job(CheckpointMode.ALIGNED)
+        engine = env.build()
+        env.execute()
+        assert engine.completed_checkpoints
+        record = engine.latest_checkpoint()
+        # Union + count + sink + both sources all snapshotted.
+        assert len(record.snapshots) >= 5
+
+    def test_aligned_recovery_with_multiple_inputs_is_exact(self):
+        env, sink = self.build_two_input_job(CheckpointMode.ALIGNED)
+        engine = env.build()
+
+        def fail():
+            engine.kill_task("count[0]")
+            engine.recover_from_checkpoint()
+
+        engine.kernel.call_at(0.12, fail)
+        env.execute(until=30.0)
+        per_key = {}
+        for r in sink.results:
+            per_key[r.key] = max(per_key.get(r.key, 0), r.value)
+        assert sum(per_key.values()) == 800
+
+    def test_unaligned_mode_snapshots_without_blocking(self):
+        env, _sink = self.build_two_input_job(CheckpointMode.UNALIGNED)
+        engine = env.build()
+        env.execute()
+        assert engine.completed_checkpoints
+
+
+class TestProcessingTimers:
+    def test_processing_timer_fires_at_requested_time(self):
+        env = StreamExecutionEnvironment(EngineConfig())
+        fired = []
+
+        def handler(record, ctx):
+            ctx.register_processing_timer(ctx.processing_time() + 0.2, payload=record.value)
+
+        def on_timer(timestamp, key, payload, ctx):
+            fired.append((timestamp, payload, ctx.processing_time()))
+
+        (
+            # Slow source: the first timer fires mid-stream at its requested
+            # time; the trailing one is quiesced (fired early) at EOS.
+            env.from_workload(CollectionWorkload([1, 2], rate=2.0), name="src")
+            .key_by(lambda v: v, name="k")
+            .process(handler, on_timer=on_timer, name="p")
+            .sink(CollectSink("out"))
+        )
+        env.execute(until=10.0)
+        assert len(fired) == 2
+        requested, _payload, actual = fired[0]
+        assert actual >= requested  # the mid-stream timer was punctual
+
+    def test_pending_processing_timers_quiesce_at_end_of_input(self):
+        env = StreamExecutionEnvironment(EngineConfig())
+        fired = []
+
+        def handler(record, ctx):
+            ctx.register_processing_timer(ctx.processing_time() + 60.0, payload=record.value)
+
+        def on_timer(timestamp, key, payload, ctx):
+            fired.append(payload)
+
+        (
+            env.from_collection([1, 2], name="src")
+            .key_by(lambda v: v, name="k")
+            .process(handler, on_timer=on_timer, name="p")
+            .sink(CollectSink("out"))
+        )
+        result = env.execute(until=10.0)
+        # Timers far past end-of-input still fire once, at quiescence.
+        assert sorted(fired) == [1, 2]
+        assert result.finished
+
+    def test_event_timers_fire_in_timestamp_order(self):
+        env = StreamExecutionEnvironment(EngineConfig())
+        fired = []
+
+        def handler(record, ctx):
+            # Register in reverse order; firing must be by timestamp.
+            ctx.register_event_timer(10.0 - record.value, payload=record.value)
+
+        def on_timer(timestamp, key, payload, ctx):
+            fired.append(timestamp)
+
+        (
+            env.from_collection([1.0, 2.0, 3.0], name="src", timestamps=[0.0, 0.0, 0.0])
+            .key_by(lambda _v: "k", name="k")
+            .process(handler, on_timer=on_timer, name="p")
+            .sink(CollectSink("out"))
+        )
+        env.execute()
+        assert fired == sorted(fired)
+
+
+class TestChannelFIFO:
+    def test_per_channel_order_preserved_despite_jitter(self):
+        from repro.core.graph import ChannelSpec
+
+        config = EngineConfig(
+            seed=22,
+            default_channel=ChannelSpec(latency=1e-4, jitter=5e-4),  # jitter >> latency
+        )
+        env = StreamExecutionEnvironment(config)
+        sink = env.from_collection(range(300), name="src").map(lambda v: v, name="m").collect()
+        env.execute()
+        assert sink.values() == list(range(300))
+
+    def test_watermarks_never_overtake_records(self):
+        env = StreamExecutionEnvironment(EngineConfig(seed=23))
+        violations = []
+
+        def check(record, ctx):
+            if record.event_time is not None and record.event_time <= ctx.current_watermark():
+                violations.append(record.value)
+            ctx.emit(record)
+
+        (
+            env.from_workload(
+                SensorWorkload(count=1000, rate=4000.0, disorder=0.0, key_count=4, seed=113),
+                watermarks=BoundedOutOfOrderness(0.0),
+            )
+            .process(check, name="check")
+            .sink(CollectSink("out"))
+        )
+        env.execute()
+        assert not violations
+
+
+class TestDrainSemantics:
+    def test_job_finishes_and_cancels_services(self):
+        env = StreamExecutionEnvironment(
+            EngineConfig(checkpoints=CheckpointConfig(interval=0.05), metrics_interval=0.05)
+        )
+        env.from_collection(range(50)).map(lambda v: v).sink(CollectSink("out"))
+        result = env.execute()  # no `until`: must quiesce on its own
+        assert result.finished
+
+    def test_union_waits_for_all_inputs_eos(self):
+        env = StreamExecutionEnvironment(EngineConfig())
+        slow = env.from_workload(CollectionWorkload(range(10), rate=10.0), name="slow")
+        fast = env.from_workload(CollectionWorkload(range(100, 110), rate=10000.0), name="fast")
+        sink = slow.union(fast).collect()
+        env.execute()
+        assert len(sink.values()) == 20

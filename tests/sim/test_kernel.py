@@ -1,0 +1,143 @@
+"""Tests for the discrete-event kernel: ordering, determinism, timers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Kernel, PeriodicTimer, VirtualClock
+
+
+class TestKernelOrdering:
+    def test_events_dispatch_in_time_order(self):
+        kernel = Kernel()
+        seen = []
+        kernel.call_at(3.0, lambda: seen.append(3))
+        kernel.call_at(1.0, lambda: seen.append(1))
+        kernel.call_at(2.0, lambda: seen.append(2))
+        kernel.run()
+        assert seen == [1, 2, 3]
+
+    def test_same_time_events_dispatch_in_insertion_order(self):
+        kernel = Kernel()
+        seen = []
+        for i in range(5):
+            kernel.call_at(1.0, lambda i=i: seen.append(i))
+        kernel.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self):
+        kernel = Kernel()
+        times = []
+        kernel.call_at(2.5, lambda: times.append(kernel.now()))
+        kernel.run()
+        assert times == [2.5]
+        assert kernel.now() == 2.5
+
+    def test_events_scheduled_during_run_are_dispatched(self):
+        kernel = Kernel()
+        seen = []
+
+        def first():
+            seen.append("first")
+            kernel.call_after(1.0, lambda: seen.append("second"))
+
+        kernel.call_at(1.0, first)
+        kernel.run()
+        assert seen == ["first", "second"]
+        assert kernel.now() == 2.0
+
+
+class TestKernelLimits:
+    def test_run_until_stops_at_horizon(self):
+        kernel = Kernel()
+        seen = []
+        kernel.call_at(1.0, lambda: seen.append(1))
+        kernel.call_at(5.0, lambda: seen.append(5))
+        kernel.run(until=2.0)
+        assert seen == [1]
+        assert kernel.now() == 2.0
+        kernel.run()
+        assert seen == [1, 5]
+
+    def test_event_at_exact_horizon_is_dispatched(self):
+        kernel = Kernel()
+        seen = []
+        kernel.call_at(2.0, lambda: seen.append(2))
+        kernel.run(until=2.0)
+        assert seen == [2]
+
+    def test_max_events_guards_against_livelock(self):
+        kernel = Kernel()
+
+        def loop():
+            kernel.call_soon(loop)
+
+        kernel.call_soon(loop)
+        with pytest.raises(SimulationError, match="max_events"):
+            kernel.run(max_events=100)
+
+    def test_scheduling_in_the_past_raises(self):
+        kernel = Kernel()
+        kernel.call_at(5.0, lambda: None)
+        kernel.run()
+        with pytest.raises(SimulationError, match="cannot schedule"):
+            kernel.call_at(1.0, lambda: None)
+
+    def test_negative_delay_raises(self):
+        kernel = Kernel()
+        with pytest.raises(SimulationError):
+            kernel.call_after(-0.5, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_events_do_not_fire(self):
+        kernel = Kernel()
+        seen = []
+        handle = kernel.call_at(1.0, lambda: seen.append("no"))
+        kernel.call_at(2.0, lambda: seen.append("yes"))
+        handle.cancel()
+        kernel.run()
+        assert seen == ["yes"]
+
+    def test_stop_halts_the_loop(self):
+        kernel = Kernel()
+        seen = []
+        kernel.call_at(1.0, lambda: (seen.append(1), kernel.stop()))
+        kernel.call_at(2.0, lambda: seen.append(2))
+        kernel.run()
+        assert seen == [1]
+        kernel.run()
+        assert seen == [1, 2]
+
+
+class TestPeriodicTimer:
+    def test_fires_at_interval_until_cancelled(self):
+        kernel = Kernel()
+        ticks = []
+
+        timer = PeriodicTimer(kernel, 1.0, lambda: ticks.append(kernel.now()))
+        kernel.call_at(3.5, timer.cancel)
+        kernel.run()
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_start_delay_overrides_first_fire(self):
+        kernel = Kernel()
+        ticks = []
+        timer = PeriodicTimer(kernel, 1.0, lambda: ticks.append(kernel.now()), start_delay=0.25)
+        kernel.call_at(2.5, timer.cancel)
+        kernel.run()
+        assert ticks == [0.25, 1.25, 2.25]
+
+    def test_zero_interval_rejected(self):
+        kernel = Kernel()
+        with pytest.raises(SimulationError):
+            PeriodicTimer(kernel, 0.0, lambda: None)
+
+
+class TestVirtualClock:
+    def test_monotone_advance(self):
+        clock = VirtualClock()
+        clock.advance_to(1.0)
+        clock.advance_to(1.0)
+        assert clock.now() == 1.0
+        with pytest.raises(SimulationError):
+            clock.advance_to(0.5)

@@ -1,0 +1,46 @@
+"""Tests for seeded simulation randomness."""
+
+from repro.sim import SimRandom
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = SimRandom(7)
+        b = SimRandom(7)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = SimRandom(1)
+        b = SimRandom(2)
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+    def test_forks_are_independent_of_sibling_consumption(self):
+        root1 = SimRandom(3)
+        child_a = root1.fork("a")
+        expected = [child_a.random() for _ in range(5)]
+
+        root2 = SimRandom(3)
+        child_b = root2.fork("b")
+        [child_b.random() for _ in range(100)]  # sibling consumes heavily
+        child_a2 = root2.fork("a")
+        assert [child_a2.random() for _ in range(5)] == expected
+
+
+class TestZipf:
+    def test_zero_skew_is_uniformish(self):
+        rng = SimRandom(11)
+        draws = [rng.zipf_index(10, 0.0) for _ in range(5000)]
+        counts = [draws.count(i) for i in range(10)]
+        assert min(counts) > 300  # roughly uniform
+
+    def test_high_skew_concentrates_on_low_indices(self):
+        rng = SimRandom(11)
+        draws = [rng.zipf_index(100, 1.5) for _ in range(5000)]
+        head = sum(1 for d in draws if d < 5)
+        assert head > len(draws) * 0.5
+
+    def test_draws_stay_in_range(self):
+        rng = SimRandom(0)
+        for skew in (0.0, 0.5, 2.0):
+            for _ in range(500):
+                assert 0 <= rng.zipf_index(7, skew) < 7

@@ -1,0 +1,90 @@
+"""LSM-tree internals: flushes, compaction, tombstones, run structure."""
+
+from repro.state import LSMStateBackend, SSTable, ValueStateDescriptor, merge_runs
+
+DESC = ValueStateDescriptor("t")
+
+
+class TestMemtableFlush:
+    def test_flush_at_limit(self):
+        lsm = LSMStateBackend(memtable_limit=3, compaction_fanout=100)
+        for i in range(3):
+            lsm.put(DESC, i, i)
+        assert lsm.flushes == 1
+        assert lsm.memtable_size == 0
+        assert lsm.run_count == 1
+
+    def test_reads_fall_through_to_runs(self):
+        lsm = LSMStateBackend(memtable_limit=2, compaction_fanout=100)
+        lsm.put(DESC, "a", 1)
+        lsm.put(DESC, "b", 2)  # flush
+        lsm.put(DESC, "c", 3)
+        assert lsm.get(DESC, "a") == 1  # from run
+        assert lsm.get(DESC, "c") == 3  # from memtable
+
+    def test_newer_run_shadows_older(self):
+        lsm = LSMStateBackend(memtable_limit=2, compaction_fanout=100)
+        lsm.put(DESC, "a", 1)
+        lsm.put(DESC, "pad0", 0)  # flush 1 (contains a=1)
+        lsm.put(DESC, "a", 99)
+        lsm.put(DESC, "pad1", 0)  # flush 2 (contains a=99)
+        assert lsm.get(DESC, "a") == 99
+
+
+class TestTombstones:
+    def test_delete_shadows_older_run_value(self):
+        lsm = LSMStateBackend(memtable_limit=2, compaction_fanout=100)
+        lsm.put(DESC, "a", 1)
+        lsm.put(DESC, "pad", 0)  # flush with a=1
+        lsm.delete(DESC, "a")
+        assert lsm.get(DESC, "a") is None
+        assert not lsm.contains(DESC, "a")
+
+    def test_compaction_collapses_tombstones(self):
+        lsm = LSMStateBackend(memtable_limit=1, compaction_fanout=100)
+        lsm.put(DESC, "a", 1)
+        lsm.delete(DESC, "a")
+        lsm.force_compaction()
+        assert lsm.run_count == 1
+        assert lsm.get(DESC, "a") is None
+
+
+class TestCompaction:
+    def test_fanout_triggers_compaction(self):
+        lsm = LSMStateBackend(memtable_limit=1, compaction_fanout=4)
+        for i in range(4):
+            lsm.put(DESC, i, i)
+        assert lsm.compactions >= 1
+        assert lsm.run_count == 1
+        for i in range(4):
+            assert lsm.get(DESC, i) == i
+
+    def test_force_compaction_idempotent(self):
+        lsm = LSMStateBackend(memtable_limit=100)
+        lsm.put(DESC, "a", 1)
+        lsm.force_compaction()
+        before = lsm.compactions
+        lsm.force_compaction()
+        assert lsm.compactions == before
+
+
+class TestSSTable:
+    def test_binary_search_get(self):
+        run = SSTable(sorted([("a", 1), ("c", 3), ("b", 2)]))
+        assert run.get("a") == 1
+        assert run.get("b") == 2
+        assert run.get("z") is None
+        assert len(run) == 3
+
+    def test_merge_runs_newest_wins(self):
+        old = SSTable(sorted([("a", 1), ("b", 2)]))
+        new = SSTable(sorted([("a", 10)]))
+        merged = merge_runs([new, old])  # newest first
+        assert merged.get("a") == 10
+        assert merged.get("b") == 2
+
+
+class TestLatencyModel:
+    def test_latencies_exposed_for_cost_model(self):
+        lsm = LSMStateBackend(read_latency=1e-5, write_latency=1e-6)
+        assert lsm.read_latency > lsm.write_latency

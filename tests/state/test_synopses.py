@@ -1,0 +1,140 @@
+"""Synopses: count-min, reservoir sampling, exponential histograms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.random import SimRandom
+from repro.state.synopses import CountMinSketch, ExponentialHistogram, ReservoirSample
+
+
+class TestCountMin:
+    def test_never_underestimates(self):
+        sketch = CountMinSketch(epsilon=0.05, delta=0.05)
+        truth: dict = {}
+        rng = SimRandom(1, "cm")
+        for _ in range(5000):
+            item = rng.zipf_index(200, 1.1)
+            sketch.add(item)
+            truth[item] = truth.get(item, 0) + 1
+        for item, count in truth.items():
+            assert sketch.estimate(item) >= count
+
+    def test_error_within_bound_for_heavy_hitters(self):
+        sketch = CountMinSketch(epsilon=0.01, delta=0.01)
+        truth: dict = {}
+        rng = SimRandom(2, "cm")
+        for _ in range(20000):
+            item = rng.zipf_index(500, 1.2)
+            sketch.add(item)
+            truth[item] = truth.get(item, 0) + 1
+        bound = sketch.error_bound()
+        heavy = sorted(truth, key=truth.get, reverse=True)[:10]
+        for item in heavy:
+            assert sketch.estimate(item) - truth[item] <= bound
+
+    def test_memory_is_sublinear(self):
+        sketch = CountMinSketch(epsilon=0.01, delta=0.01)
+        for item in range(100_000):
+            sketch.add(item)
+        assert sketch.counters < 100_000 / 50
+
+    def test_merge(self):
+        a = CountMinSketch(epsilon=0.1, delta=0.1)
+        b = CountMinSketch(epsilon=0.1, delta=0.1)
+        a.add("x", 3)
+        b.add("x", 4)
+        a.merge(b)
+        assert a.estimate("x") >= 7
+        assert a.total == 7
+
+    def test_merge_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(0.1, 0.1).merge(CountMinSketch(0.01, 0.1))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(epsilon=0.0)
+
+
+class TestReservoir:
+    def test_keeps_at_most_capacity(self):
+        reservoir = ReservoirSample(capacity=10, seed=3)
+        for item in range(1000):
+            reservoir.add(item)
+        assert len(reservoir.sample()) == 10
+        assert reservoir.seen == 1000
+
+    def test_sample_is_roughly_uniform(self):
+        # Aggregate membership counts over many independent reservoirs.
+        hits = [0] * 100
+        for seed in range(300):
+            reservoir = ReservoirSample(capacity=10, seed=seed)
+            for item in range(100):
+                reservoir.add(item)
+            for item in reservoir.sample():
+                hits[item] += 1
+        expected = 300 * 10 / 100  # 30 per item
+        assert all(10 <= h <= 60 for h in hits), hits
+
+    def test_estimators(self):
+        reservoir = ReservoirSample(capacity=500, seed=5)
+        for item in range(1000):
+            reservoir.add(float(item))
+        assert abs(reservoir.estimate_mean() - 499.5) < 60
+        assert abs(reservoir.estimate_fraction(lambda v: v < 500) - 0.5) < 0.1
+
+    def test_small_stream_kept_exactly(self):
+        reservoir = ReservoirSample(capacity=10, seed=1)
+        for item in range(5):
+            reservoir.add(item)
+        assert sorted(reservoir.sample()) == [0, 1, 2, 3, 4]
+
+
+class TestExponentialHistogram:
+    def test_exact_when_buckets_unmerged(self):
+        hist = ExponentialHistogram(window=10.0, k=8)
+        for t in range(5):
+            hist.add(float(t))
+        assert hist.estimate(4.0) == pytest.approx(5 - 0.5)
+
+    def test_expiry(self):
+        hist = ExponentialHistogram(window=2.0, k=4)
+        hist.add(0.0)
+        hist.add(1.0)
+        hist.add(5.0)
+        # Events at 0.0 and 1.0 are outside (5-2, 5]; only one remains.
+        assert hist.estimate(5.0) <= 1.0
+
+    def test_out_of_order_rejected(self):
+        hist = ExponentialHistogram(window=5.0)
+        hist.add(3.0)
+        with pytest.raises(ValueError):
+            hist.add(2.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        gaps=st.lists(st.floats(min_value=0.01, max_value=0.5, allow_nan=False), min_size=10, max_size=300),
+        k=st.sampled_from([2, 4, 8]),
+    )
+    def test_relative_error_bounded(self, gaps, k):
+        window = 5.0
+        hist = ExponentialHistogram(window=window, k=k)
+        times = []
+        t = 0.0
+        for gap in gaps:
+            t += gap
+            times.append(t)
+            hist.add(t)
+        now = times[-1]
+        truth = sum(1 for ts in times if now - window < ts <= now)
+        estimate = hist.estimate(now)
+        if truth > 0:
+            assert abs(estimate - truth) / truth <= hist.relative_error_bound() + 1e-9
+
+    def test_memory_logarithmic(self):
+        hist = ExponentialHistogram(window=1e9, k=4)
+        for t in range(20000):
+            hist.add(float(t))
+        # 20000 events, but only O(k log n) buckets.
+        assert hist.bucket_count < 100

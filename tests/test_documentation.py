@@ -1,0 +1,51 @@
+"""Meta-test: the public API is documented.
+
+Every module under ``repro`` must carry a module docstring, and every
+public class and function (not underscore-prefixed, defined in repro)
+must have a docstring — directly or inherited from the base it overrides.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+
+def iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+def has_doc(obj) -> bool:
+    return bool(inspect.getdoc(obj))
+
+
+def test_every_module_has_a_docstring():
+    undocumented = [m.__name__ for m in iter_modules() if not m.__doc__]
+    assert not undocumented, undocumented
+
+
+def test_every_public_class_and_function_is_documented():
+    missing = []
+    for module in iter_modules():
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                continue
+            if getattr(obj, "__module__", "") != module.__name__:
+                continue  # re-export; documented at definition site
+            if not has_doc(obj):
+                missing.append(f"{module.__name__}.{name}")
+                continue
+            if inspect.isclass(obj):
+                for member_name, member in vars(obj).items():
+                    if member_name.startswith("_"):
+                        continue
+                    if inspect.isfunction(member) and not has_doc(
+                        getattr(obj, member_name)
+                    ):
+                        missing.append(f"{module.__name__}.{name}.{member_name}")
+    assert not missing, "undocumented public items:\n" + "\n".join(sorted(missing))

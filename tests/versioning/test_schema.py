@@ -1,0 +1,119 @@
+"""State versioning & schema evolution."""
+
+import pytest
+
+from repro.errors import StateMigrationError
+from repro.versioning.schema import SchemaRegistry, VersionedSerde, migrate_snapshot
+
+
+def order_registry():
+    registry = SchemaRegistry()
+    registry.declare("orders", version=1)
+    # v1 → v2: split `name` into first/last
+    registry.register_migration(
+        "orders",
+        1,
+        lambda v: {
+            **{k: val for k, val in v.items() if k != "name"},
+            "first": v["name"].split()[0],
+            "last": v["name"].split()[-1],
+        },
+    )
+    # v2 → v3: add a loyalty tier with a default
+    registry.register_migration("orders", 2, lambda v: {**v, "tier": "basic"})
+    return registry
+
+
+class TestRegistry:
+    def test_latest_version_tracks_migrations(self):
+        registry = order_registry()
+        assert registry.latest_version("orders") == 3
+        assert registry.latest_version("unknown") == 1
+
+    def test_upgrade_chains_migrations(self):
+        registry = order_registry()
+        upgraded = registry.upgrade("orders", {"id": 1, "name": "Ada Lovelace"}, 1)
+        assert upgraded == {"id": 1, "first": "Ada", "last": "Lovelace", "tier": "basic"}
+
+    def test_upgrade_from_intermediate_version(self):
+        registry = order_registry()
+        upgraded = registry.upgrade("orders", {"id": 1, "first": "A", "last": "B"}, 2)
+        assert upgraded["tier"] == "basic"
+
+    def test_missing_migration_fails_loud(self):
+        registry = SchemaRegistry()
+        registry.declare("s", version=3)
+        with pytest.raises(StateMigrationError, match="no migration"):
+            registry.upgrade("s", {}, 1)
+
+    def test_newer_than_latest_rejected(self):
+        registry = order_registry()
+        with pytest.raises(StateMigrationError, match="newer"):
+            registry.upgrade("orders", {}, 9)
+
+    def test_duplicate_migration_rejected(self):
+        registry = order_registry()
+        with pytest.raises(StateMigrationError, match="already"):
+            registry.register_migration("orders", 1, lambda v: v)
+
+
+class TestVersionedSerde:
+    def test_roundtrip_stamps_version(self):
+        registry = order_registry()
+        serde = VersionedSerde(registry, "orders")
+        data = serde.serialize({"id": 1, "first": "A", "last": "B", "tier": "gold"})
+        assert b'"_v": 3' in data.replace(b'"_v":3', b'"_v": 3')
+        assert serde.deserialize(data)["tier"] == "gold"
+
+    def test_old_payload_upgraded_on_read(self):
+        registry = order_registry()
+        old_serde = VersionedSerde(registry, "orders", version=1)
+        data = old_serde.serialize({"id": 7, "name": "Grace Hopper"})
+        new_serde = VersionedSerde(registry, "orders")
+        value = new_serde.deserialize(data)
+        assert value == {"id": 7, "first": "Grace", "last": "Hopper", "tier": "basic"}
+
+    def test_unversioned_payload_rejected(self):
+        registry = order_registry()
+        serde = VersionedSerde(registry, "orders")
+        with pytest.raises(StateMigrationError, match="version stamp"):
+            serde.deserialize(b'{"id": 1}')
+
+    def test_corrupt_payload_rejected(self):
+        registry = order_registry()
+        serde = VersionedSerde(registry, "orders")
+        with pytest.raises(StateMigrationError):
+            serde.deserialize(b"not json")
+
+
+class TestSavepointUpgrade:
+    def test_migrate_snapshot_upgrades_all_entries(self):
+        registry = order_registry()
+        v1 = VersionedSerde(registry, "orders", version=1)
+        snapshot = {
+            "orders": {
+                "k1": v1.serialize({"id": 1, "name": "Ada Lovelace"}),
+                "k2": v1.serialize({"id": 2, "name": "Alan Turing"}),
+            },
+            "untouched": {"k": b"raw-bytes"},
+        }
+        v3 = VersionedSerde(registry, "orders")
+        upgraded = migrate_snapshot(
+            snapshot, registry, old_serdes={"orders": v1}, new_serdes={"orders": v3}
+        )
+        value = v3.deserialize(upgraded["orders"]["k1"])
+        assert value["first"] == "Ada" and value["tier"] == "basic"
+        assert upgraded["untouched"]["k"] == b"raw-bytes"
+
+    def test_restore_without_migration_fails(self):
+        """The negative path E17 demonstrates: old bytes + no migration
+        chain = refuse to restore (instead of silently corrupting)."""
+        registry = SchemaRegistry()
+        registry.declare("orders", version=1)
+        v1 = VersionedSerde(registry, "orders", version=1)
+        data = v1.serialize({"id": 1, "name": "X Y"})
+        # A new deployment declares v2 but forgot the migration:
+        registry.declare("orders", version=2)
+        reader = VersionedSerde(registry, "orders")
+        with pytest.raises(StateMigrationError, match="no migration"):
+            reader.deserialize(data)

@@ -1,0 +1,101 @@
+"""Window assigner tests, including brute-force property checks."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.windows import (
+    EventTimeSessionWindows,
+    GlobalWindows,
+    SlidingEventTimeWindows,
+    TumblingEventTimeWindows,
+)
+from repro.windows.core import GLOBAL_WINDOW, TimeWindow
+
+
+class TestTumbling:
+    def test_basic_assignment(self):
+        assigner = TumblingEventTimeWindows(10.0)
+        assert assigner.assign(None, 3.0) == [TimeWindow(0.0, 10.0)]
+        assert assigner.assign(None, 10.0) == [TimeWindow(10.0, 20.0)]
+
+    def test_offset_shifts_boundaries(self):
+        assigner = TumblingEventTimeWindows(10.0, offset=3.0)
+        assert assigner.assign(None, 3.0) == [TimeWindow(3.0, 13.0)]
+        assert assigner.assign(None, 2.9) == [TimeWindow(-7.0, 3.0)]
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(GraphError):
+            TumblingEventTimeWindows(0.0)
+
+    @given(st.floats(min_value=0, max_value=1e6, allow_nan=False))
+    def test_element_always_inside_its_window(self, t):
+        assigner = TumblingEventTimeWindows(7.5)
+        [window] = assigner.assign(None, t)
+        assert window.contains(t)
+
+
+class TestSliding:
+    def test_element_lands_in_size_over_slide_windows(self):
+        assigner = SlidingEventTimeWindows(10.0, 2.0)
+        windows = assigner.assign(None, 11.0)
+        assert len(windows) == 5
+        for window in windows:
+            assert window.contains(11.0)
+
+    def test_slide_larger_than_size_rejected(self):
+        with pytest.raises(GraphError):
+            SlidingEventTimeWindows(1.0, 2.0)
+
+    @given(st.floats(min_value=0, max_value=1e4, allow_nan=False))
+    def test_matches_brute_force_enumeration(self, t):
+        size, slide = 8.0, 2.0
+        assigner = SlidingEventTimeWindows(size, slide)
+        got = sorted(assigner.assign(None, t))
+        expected = []
+        start = 0.0
+        while start <= t:
+            if start <= t < start + size:
+                expected.append(TimeWindow(start, start + size))
+            start += slide
+        # brute force above misses windows starting before 0 for small t
+        start = -size
+        while start < 0:
+            if start <= t < start + size and TimeWindow(start, start + size) not in expected:
+                expected.append(TimeWindow(start, start + size))
+            start += slide
+        assert got == sorted(expected)
+
+
+class TestSessions:
+    def test_each_element_opens_gap_window(self):
+        assigner = EventTimeSessionWindows(5.0)
+        assert assigner.assign(None, 2.0) == [TimeWindow(2.0, 7.0)]
+        assert assigner.is_merging
+
+    def test_invalid_gap_rejected(self):
+        with pytest.raises(GraphError):
+            EventTimeSessionWindows(-1.0)
+
+
+class TestGlobal:
+    def test_single_window(self):
+        assigner = GlobalWindows()
+        assert assigner.assign(None, 1.0) == [GLOBAL_WINDOW]
+        assert assigner.assign(None, 99.0) == [GLOBAL_WINDOW]
+
+
+class TestTimeWindow:
+    def test_intersects_and_cover(self):
+        a = TimeWindow(0, 10)
+        b = TimeWindow(5, 15)
+        c = TimeWindow(10, 20)
+        assert a.intersects(b)
+        assert not a.intersects(c)  # half-open
+        assert a.cover(b) == TimeWindow(0, 15)
+
+    def test_contains_half_open(self):
+        w = TimeWindow(0, 10)
+        assert w.contains(0)
+        assert not w.contains(10)

@@ -1,0 +1,99 @@
+"""Unit tests for the join operators (driven through a stub context)."""
+
+from helpers import StubContext
+
+from repro.windows.assigners import TumblingEventTimeWindows
+from repro.windows.join import IntervalJoinOperator, WindowJoinOperator
+
+
+def feed_tagged(ctx, op, side, value, event_time, key="k"):
+    ctx.feed(op, (side, value), event_time=event_time, key=key)
+
+
+class TestWindowJoin:
+    def test_cross_product_within_window(self):
+        ctx = StubContext()
+        op = WindowJoinOperator(TumblingEventTimeWindows(10.0), lambda l, r: (l, r))
+        feed_tagged(ctx, op, "left", "L1", 1.0)
+        feed_tagged(ctx, op, "left", "L2", 2.0)
+        feed_tagged(ctx, op, "right", "R1", 3.0)
+        ctx.advance_watermark(op, 10.0)
+        assert sorted(ctx.record_values()) == [("L1", "R1"), ("L2", "R1")]
+
+    def test_no_match_across_windows(self):
+        ctx = StubContext()
+        op = WindowJoinOperator(TumblingEventTimeWindows(10.0), lambda l, r: (l, r))
+        feed_tagged(ctx, op, "left", "L1", 1.0)
+        feed_tagged(ctx, op, "right", "R1", 15.0)  # next window
+        ctx.advance_watermark(op, 30.0)
+        assert ctx.record_values() == []
+
+    def test_keys_isolated(self):
+        ctx = StubContext()
+        op = WindowJoinOperator(TumblingEventTimeWindows(10.0), lambda l, r: (l, r))
+        feed_tagged(ctx, op, "left", "L1", 1.0, key="a")
+        feed_tagged(ctx, op, "right", "R1", 2.0, key="b")
+        ctx.advance_watermark(op, 10.0)
+        assert ctx.record_values() == []
+
+    def test_state_purged_after_fire(self):
+        ctx = StubContext()
+        op = WindowJoinOperator(TumblingEventTimeWindows(10.0), lambda l, r: (l, r))
+        feed_tagged(ctx, op, "left", "L1", 1.0)
+        feed_tagged(ctx, op, "right", "R1", 2.0)
+        ctx.advance_watermark(op, 10.0)
+        state = ctx.backend.handle(op._descriptor, "k")
+        assert state.is_empty()
+
+    def test_late_records_ignored(self):
+        ctx = StubContext()
+        op = WindowJoinOperator(TumblingEventTimeWindows(10.0), lambda l, r: (l, r))
+        ctx.advance_watermark(op, 10.0)
+        feed_tagged(ctx, op, "left", "late", 1.0)
+        ctx.advance_watermark(op, 20.0)
+        assert ctx.record_values() == []
+
+
+class TestIntervalJoin:
+    def make(self, lower=-1.0, upper=1.0):
+        return IntervalJoinOperator(lower, upper, lambda l, r: (l, r))
+
+    def test_match_within_interval(self):
+        ctx = StubContext()
+        op = self.make()
+        feed_tagged(ctx, op, "left", "L", 5.0)
+        feed_tagged(ctx, op, "right", "R", 5.5)
+        assert ctx.record_values() == [("L", "R")]
+
+    def test_asymmetric_bounds(self):
+        ctx = StubContext()
+        op = self.make(lower=0.0, upper=2.0)  # right in [tl, tl+2]
+        feed_tagged(ctx, op, "left", "L", 5.0)
+        feed_tagged(ctx, op, "right", "too-early", 4.5)
+        feed_tagged(ctx, op, "right", "ok", 6.5)
+        feed_tagged(ctx, op, "right", "too-late", 7.5)
+        assert ctx.record_values() == [("L", "ok")]
+
+    def test_match_emits_regardless_of_arrival_order(self):
+        ctx = StubContext()
+        op = self.make()
+        feed_tagged(ctx, op, "right", "R", 5.0)
+        feed_tagged(ctx, op, "left", "L", 5.5)
+        assert ctx.record_values() == [("L", "R")]
+
+    def test_buffers_expire_past_watermark_horizon(self):
+        ctx = StubContext()
+        op = self.make()
+        feed_tagged(ctx, op, "left", "old", 1.0)
+        ctx._watermark = 10.0
+        feed_tagged(ctx, op, "left", "new", 10.5)
+        state = ctx.backend.handle(op._descriptor, "k")
+        lefts = [v for _t, v in state.get("buf")["left"]]
+        assert "old" not in lefts
+        assert "new" in lefts
+
+    def test_invalid_bounds_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            IntervalJoinOperator(2.0, 1.0, lambda l, r: None)
