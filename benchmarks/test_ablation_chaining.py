@@ -1,64 +1,52 @@
 """Ablation A3 — operator chaining (gen2's standard fusion optimization).
 
-Consecutive stateless operators can run fused in one task, skipping the
-per-element channel hop. The same four-stage stateless transform runs
-unfused (four tasks, three network hops) and fused (one task). Expected
-shape: identical results, with fused end-to-end latency lower by roughly
-the saved channel latency and the task count reduced accordingly.
+Consecutive forward-partitioned operators can run fused in one task,
+skipping the per-element channel hop. The same four-stage stateless
+transform runs twice through the engine's physical planner: once with
+``EngineConfig.chaining_enabled=False`` (five tasks, four network hops)
+and once with it on (the planner fuses the whole forward pipeline into a
+single task). Expected shape: identical results, with fused end-to-end
+latency lower by roughly the saved channel latency and the task count
+reduced accordingly.
 """
 
 from conftest import fmt, print_table
 
 from repro.core.datastream import StreamExecutionEnvironment
-from repro.core.operators.basic import FilterOperator, FlatMapOperator, MapOperator, StatelessChain
 from repro.io import CollectSink, SensorWorkload
 from repro.runtime.config import EngineConfig
 
 EVENTS = 4000
 
 
-def stages():
-    return [
-        MapOperator(lambda v: {**v, "f": v["reading"] * 1.8 + 32}, "to-fahrenheit"),
-        FilterOperator(lambda v: v["f"] > 60.0, "hot-only"),
-        FlatMapOperator(lambda v: [(v["sensor"], round(v["f"], 1))], "project"),
-        MapOperator(lambda pair: pair, "identity"),
-    ]
-
-
-def workload():
-    return SensorWorkload(count=EVENTS, rate=4000.0, key_count=8, seed=109)
-
-
-def run_unchained():
-    env = StreamExecutionEnvironment(EngineConfig(seed=19), name="unchained")
-    stream = env.from_workload(workload())
-    for index, op in enumerate(stages()):
-        stream = stream.apply_operator(lambda op=op: op, name=f"stage{index}")
-    sink = stream.collect("out")
-    engine = env.build()
-    env.execute()
-    return sink, len(engine.tasks)
-
-
-def run_chained():
-    env = StreamExecutionEnvironment(EngineConfig(seed=19), name="chained")
-    sink = (
-        env.from_workload(workload())
-        .apply_operator(lambda: StatelessChain(stages(), name="fused"), name="fused")
-        .collect("out")
+def build_pipeline(env):
+    sink = CollectSink("out")
+    (
+        env.from_workload(SensorWorkload(count=EVENTS, rate=4000.0, key_count=8, seed=109))
+        .map(lambda v: {**v, "f": v["reading"] * 1.8 + 32}, name="to-fahrenheit")
+        .filter(lambda v: v["f"] > 60.0, name="hot-only")
+        .flat_map(lambda v: [(v["sensor"], round(v["f"], 1))], name="project")
+        .map(lambda pair: pair, name="identity")
+        .sink(sink, parallelism=1)
     )
+    return sink
+
+
+def run(chaining):
+    name = "chained" if chaining else "unchained"
+    env = StreamExecutionEnvironment(
+        EngineConfig(seed=19, chaining_enabled=chaining), name=name
+    )
+    sink = build_pipeline(env)
     engine = env.build()
     env.execute()
     return sink, len(engine.tasks)
 
 
 def run_all():
-    unchained_sink, unchained_tasks = run_unchained()
-    chained_sink, chained_tasks = run_chained()
     return {
-        "unchained": (unchained_sink, unchained_tasks),
-        "chained": (chained_sink, chained_tasks),
+        "unchained": run(chaining=False),
+        "chained": run(chaining=True),
     }
 
 
@@ -79,7 +67,7 @@ def test_ablation_chaining(benchmark):
     # Same answers.
     assert chained_sink.values() == unchained_sink.values()
     assert len(chained_sink.values()) > 0
-    # Fewer tasks, lower latency (3 channel hops saved, ~0.1ms+jitter each).
+    # Fewer tasks, lower latency (4 channel hops saved, ~0.1ms+jitter each).
     assert chained_tasks < unchained_tasks
     saved = unchained_sink.latency_summary().p50 - chained_sink.latency_summary().p50
-    assert saved > 2.5e-4, f"expected ~3 saved hops, got {saved}"
+    assert saved > 2.5e-4, f"expected saved channel hops, got {saved}"

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Pre-merge smoke check: run the tier-1 test suite, then every benchmark in
+# smoke mode (--benchmark-disable runs each experiment once, keeping the
+# shape assertions and the BENCH_throughput.json refresh without the timed
+# calibration rounds). Usage: scripts/bench_smoke.sh [extra pytest args]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="${PYTHONPATH:+$PYTHONPATH:}src"
+
+echo "== tier-1 tests =="
+python -m pytest tests/ -q "$@"
+
+echo "== benchmarks (smoke mode) =="
+python -m pytest benchmarks/ -q --benchmark-disable "$@"

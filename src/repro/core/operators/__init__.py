@@ -13,9 +13,11 @@ from repro.core.operators.basic import (
     StatelessChain,
     UnionOperator,
 )
+from repro.core.operators.chain import ChainedOperator
 
 __all__ = [
     "AggregatingOperator",
+    "ChainedOperator",
     "FilterOperator",
     "FlatMapOperator",
     "KeyByOperator",

@@ -110,6 +110,14 @@ class OperatorContext:
         """Write non-keyed operator-scoped state by name."""
         raise NotImplementedError
 
+    # --- cost -----------------------------------------------------------
+    def add_cost(self, seconds: float) -> None:
+        """Charge extra virtual processing time for the current element.
+
+        The runtime context accumulates this into the task's cost model;
+        the default is a no-op so stub contexts in tests stay cheap.
+        """
+
 
 class Operator:
     """Base class for all dataflow operators.

@@ -82,12 +82,10 @@ class ActiveStandby:
         )
 
         def promote() -> None:
-            node = self.engine.node_of(task)
             backend = None
             if not task.state_backend.survives_task_failure:
-                factory = node.state_backend_factory or self.engine.config.state_backend_factory
-                backend = factory()
-            task.reincarnate(node.new_operator(), backend)
+                backend = self.engine.backend_factory_for(task)()
+            task.reincarnate(self.engine.new_operator_for(task), backend)
             task.restore_snapshot(self._mirror)
             buffered, task.ha_buffer = task.ha_buffer, None
             for item in buffered or []:
@@ -141,12 +139,10 @@ class PassiveStandby:
         )
 
         def recover() -> None:
-            node = self.engine.node_of(task)
             backend = None
             if not task.state_backend.survives_task_failure:
-                factory = node.state_backend_factory or self.engine.config.state_backend_factory
-                backend = factory()
-            task.reincarnate(node.new_operator(), backend)
+                backend = self.engine.backend_factory_for(task)()
+            task.reincarnate(self.engine.new_operator_for(task), backend)
             task.restore_snapshot(snapshot)
             if isinstance(task, SourceTask):
                 task.restart_emission()

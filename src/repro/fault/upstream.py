@@ -108,12 +108,10 @@ class UpstreamBackup:
         self.upstream_task.suspend()
 
         def rebuild() -> None:
-            node = self.engine.node_of(task)
             backend = None
             if not task.state_backend.survives_task_failure:
-                factory = node.state_backend_factory or self.engine.config.state_backend_factory
-                backend = factory()
-            task.reincarnate(node.new_operator(), backend)
+                backend = self.engine.backend_factory_for(task)()
+            task.reincarnate(self.engine.new_operator_for(task), backend)
             # Everything retained by now covers all parked in-flights: the
             # suspended upstream emitted at most one completion since the
             # kill, and its records were tapped into the retained queue.

@@ -66,6 +66,17 @@ class EngineConfig:
     metrics_interval: float | None = None
     #: how long after the last source finishes to keep draining (virtual s)
     drain_grace: float = 0.0
+    # --- physical optimisations (fast-path dispatch) ----------------------
+    #: fuse adjacent forward-partitioned, same-parallelism logical nodes into
+    #: one task (Flink-style operator chaining); records cross fused edges as
+    #: plain Python calls with no channel at all
+    chaining_enabled: bool = False
+    #: default per-channel delivery batch size applied when an edge's
+    #: ChannelSpec doesn't set one (1 = no batching)
+    channel_batch_size: int = 1
+    #: heap-free FIFO dispatch for events scheduled at exactly now();
+    #: order-preserving, so safe to leave on
+    same_time_bucket: bool = True
 
     def channel_for(self, spec: ChannelSpec | None) -> ChannelSpec:
         """Resolve an edge's channel spec against the defaults."""
@@ -73,4 +84,10 @@ class EngineConfig:
         capacity = base.capacity
         if capacity is None and self.flow_control:
             capacity = self.default_channel_capacity
-        return ChannelSpec(latency=base.latency, jitter=base.jitter, capacity=capacity)
+        batch_size = base.batch_size if base.batch_size > 1 else self.channel_batch_size
+        return ChannelSpec(
+            latency=base.latency,
+            jitter=base.jitter,
+            capacity=capacity,
+            batch_size=batch_size,
+        )

@@ -9,11 +9,13 @@ trigger checkpoints, kill tasks, restore from snapshots, rewind sources.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from repro.core.events import CheckpointBarrier, StreamElement
 from repro.core.graph import LogicalNode, Partitioning, StreamGraph
+from repro.core.operators.base import Operator
 from repro.core.operators.basic import SinkOperator
+from repro.core.operators.chain import ChainedOperator
 from repro.errors import CheckpointError, GraphError, RecoveryError, RuntimeStateError
 from repro.io.sinks import TransactionalSink
 from repro.progress.watermarks import NoWatermarks, WatermarkStrategy
@@ -82,7 +84,7 @@ class Engine:
     def __init__(self, graph: StreamGraph, config: EngineConfig | None = None) -> None:
         self.graph = graph
         self.config = config or EngineConfig()
-        self.kernel = Kernel()
+        self.kernel = Kernel(same_time_bucket=self.config.same_time_bucket)
         self.rng = SimRandom(self.config.seed, f"engine/{graph.name}")
         self.metrics = JobMetrics()
         self.tasks: dict[str, Task] = {}
@@ -101,6 +103,12 @@ class Engine:
         #: edge-index → {sender task name → OutputGate}; maintained for
         #: dynamic rewiring (rescaling, dynamic topologies)
         self.edge_gates: dict[int, dict[str, OutputGate]] = {}
+        #: task name → factory rebuilding its operator (chained tasks need
+        #: the whole fused pipeline, not one member) / its state backend
+        self._task_factories: dict[str, Callable[[], Operator]] = {}
+        self._task_backend_factories: dict[str, Callable[[], Any]] = {}
+        #: chain member node_id → fused group (head first); heads map too
+        self._chained_nodes: dict[int, list[LogicalNode]] = {}
         graph.validate()
         self._build()
 
@@ -109,21 +117,132 @@ class Engine:
     # ------------------------------------------------------------------
     def _build(self) -> None:
         order = self.graph.topological_order()
+        chain_groups = self._compute_chains()
+        for group in chain_groups:
+            for member in group:
+                self._chained_nodes[member.node_id] = group
         for node in order:
-            self.node_tasks[node.node_id] = [
-                self._make_task(node, index) for index in range(node.parallelism)
-            ]
-            for task in self.node_tasks[node.node_id]:
+            group = self._chained_nodes.get(node.node_id)
+            if group is not None:
+                if node is not group[0]:
+                    continue  # tasks were created when the head was visited
+                tasks = [self._make_chained_task(group, index) for index in range(node.parallelism)]
+                for member in group:
+                    self.node_tasks[member.node_id] = tasks
+            else:
+                tasks = [self._make_task(node, index) for index in range(node.parallelism)]
+                self.node_tasks[node.node_id] = tasks
+            for task in tasks:
                 self.tasks[task.name] = task
         for edge_index, edge in enumerate(self.graph.edges):
+            if self._is_fused_edge(edge):
+                continue
             self._wire_edge(edge, edge_index)
-        # Register sinks by scanning for SinkOperator instances.
+        # Register sinks by scanning for SinkOperator instances (including
+        # ones fused into a chain).
         for task in self.tasks.values():
-            operator = task.operator
-            if isinstance(operator, SinkOperator):
-                sink = operator.sink
-                name = getattr(sink, "name", task.name)
-                self.sinks.setdefault(name, sink)
+            for operator in self._flatten_operators(task.operator):
+                if isinstance(operator, SinkOperator):
+                    sink = operator.sink
+                    name = getattr(sink, "name", task.name)
+                    self.sinks.setdefault(name, sink)
+
+    @staticmethod
+    def _flatten_operators(operator: Operator) -> list[Operator]:
+        if isinstance(operator, ChainedOperator):
+            return list(operator.operators)
+        return [operator]
+
+    def _compute_chains(self) -> list[list[LogicalNode]]:
+        """Greedy Flink-style fusion: walk forward edges, fusing a node into
+        the current chain while the link is FORWARD-partitioned, one-to-one
+        (fan-out 1 upstream, fan-in 1 downstream), same parallelism, not a
+        feedback edge, and the downstream node doesn't demand its own state
+        backend. Sources are never fused (they drive workload emission)."""
+        if not self.config.chaining_enabled:
+            return []
+        groups: list[list[LogicalNode]] = []
+        fused: set[int] = set()
+        for node in self.graph.topological_order():
+            if node.is_source or node.node_id in fused:
+                continue
+            group = [node]
+            current = node
+            while True:
+                outs = self.graph.outputs_of(current.node_id)
+                if len(outs) != 1 or outs[0].is_feedback:
+                    break
+                edge = outs[0]
+                if edge.partitioning is not Partitioning.FORWARD:
+                    break
+                target = self.graph.nodes[edge.target_id]
+                if (
+                    target.is_source
+                    or target.node_id in fused
+                    or target.parallelism != current.parallelism
+                    or target.state_backend_factory is not None
+                    or len(self.graph.inputs_of(target.node_id)) != 1
+                ):
+                    break
+                group.append(target)
+                current = target
+            if len(group) > 1:
+                groups.append(group)
+                fused.update(member.node_id for member in group)
+        return groups
+
+    def _is_fused_edge(self, edge) -> bool:
+        """True when both endpoints live in the same fused chain — the hop
+        happens as a plain Python call, so no channel is built."""
+        source_group = self._chained_nodes.get(edge.source_id)
+        return source_group is not None and source_group is self._chained_nodes.get(edge.target_id)
+
+    def _node_cost(self, node: LogicalNode, operator: Operator) -> float:
+        if node.processing_cost is not None:
+            return node.processing_cost
+        if operator.processing_cost is not None:
+            return operator.processing_cost
+        return self.config.default_processing_cost
+
+    def _chain_operator_factory(
+        self, group: list[LogicalNode], name: str
+    ) -> Callable[[], ChainedOperator]:
+        def build() -> ChainedOperator:
+            operators = [member.new_operator() for member in group]
+            costs = [self._node_cost(member, op) for member, op in zip(group, operators)]
+            # The head's cost is carried by the task itself; members after it
+            # charge theirs per record entered via ctx.add_cost.
+            return ChainedOperator(operators, name=name, extra_costs=[0.0, *costs[1:]])
+
+        return build
+
+    def _make_chained_task(self, group: list[LogicalNode], index: int) -> Task:
+        head = group[0]
+        chain_name = "->".join(member.name for member in group)
+        name = f"{chain_name}[{index}]"
+        operator_factory = self._chain_operator_factory(group, chain_name)
+        operator = operator_factory()
+        backend_factory = head.state_backend_factory or self.config.state_backend_factory
+        task = Task(
+            self.kernel,
+            name,
+            operator=operator,
+            state_backend=backend_factory(),
+            subtask_index=index,
+            parallelism=head.parallelism,
+            processing_cost=self._node_cost(head, operator.operators[0]),
+            timer_cost=self.config.timer_cost,
+            metrics=self.metrics.for_task(name),
+            engine=self,
+        )
+        if (
+            self.config.checkpoints is not None
+            and self.config.checkpoints.mode is CheckpointMode.UNALIGNED
+        ):
+            task.align_unaligned = True
+        self._task_factories[name] = operator_factory
+        self._task_backend_factories[name] = backend_factory
+        return task
 
     def _make_task(self, node: LogicalNode, index: int) -> Task:
         name = f"{node.name}[{index}]"
@@ -146,6 +265,8 @@ class Engine:
                 parallelism=node.parallelism,
             )
         backend_factory = node.state_backend_factory or self.config.state_backend_factory
+        self._task_factories[name] = node.new_operator
+        self._task_backend_factories[name] = backend_factory
         task = Task(
             self.kernel,
             name,
@@ -331,11 +452,29 @@ class Engine:
             self._pending_checkpoint = None
 
     def node_of(self, task: Task) -> LogicalNode:
-        """The logical node a task belongs to."""
+        """The logical node a task belongs to (the chain head for a task
+        running a fused :class:`ChainedOperator`)."""
         for node_id, tasks in self.node_tasks.items():
             if task in tasks:
                 return self.graph.nodes[node_id]
         raise RuntimeStateError(f"task {task.name} not in plan")
+
+    def new_operator_for(self, task: Task) -> Operator:
+        """Build a fresh operator for ``task`` — the full fused pipeline when
+        the task runs a chain. Recovery paths must use this instead of
+        ``node_of(task).new_operator()``."""
+        factory = self._task_factories.get(task.name)
+        if factory is not None:
+            return factory()
+        return self.node_of(task).new_operator()
+
+    def backend_factory_for(self, task: Task) -> Callable[[], Any]:
+        """The state-backend factory ``task`` was built with."""
+        factory = self._task_backend_factories.get(task.name)
+        if factory is not None:
+            return factory
+        node = self.node_of(task)
+        return node.state_backend_factory or self.config.state_backend_factory
 
     def restore_latency(self, snapshot_bytes: int) -> float:
         """Virtual time to pull a snapshot from durable storage."""
@@ -370,47 +509,53 @@ class Engine:
         self.kernel.call_at(resume_at, lambda: self._do_restore(record))
         return resume_at
 
+    def _planned_tasks(self) -> list[Task]:
+        """Unique tasks currently in the physical plan, in topological order.
+        (With chaining, several logical nodes alias one task list; after a
+        scale-in, retired tasks linger in ``self.tasks`` but not here.)"""
+        seen: set[int] = set()
+        planned: list[Task] = []
+        for tasks in self.node_tasks.values():
+            for task in tasks:
+                if id(task) not in seen:
+                    seen.add(id(task))
+                    planned.append(task)
+        return planned
+
     def _do_restore(self, record: CheckpointRecord) -> None:
         for sink in self.sinks.values():
             if isinstance(sink, TransactionalSink):
                 sink.on_recovery()
-        for node_id, tasks in self.node_tasks.items():
-            node = self.graph.nodes[node_id]
-            for task in tasks:
-                snapshot = record.snapshots.get(task.name)
-                if isinstance(task, SourceTask):
-                    task.reincarnate()
-                    task.restore_snapshot(snapshot)
-                else:
-                    backend = None
-                    if not task.state_backend.survives_task_failure:
-                        factory = node.state_backend_factory or self.config.state_backend_factory
-                        backend = factory()
-                    task.reincarnate(node.new_operator(), backend)
-                    task.restore_snapshot(snapshot)
-        for tasks in self.node_tasks.values():
-            for task in tasks:
-                if isinstance(task, SourceTask):
-                    task.restart_emission()
+        for task in self._planned_tasks():
+            snapshot = record.snapshots.get(task.name)
+            if isinstance(task, SourceTask):
+                task.reincarnate()
+                task.restore_snapshot(snapshot)
+            else:
+                backend = None
+                if not task.state_backend.survives_task_failure:
+                    backend = self.backend_factory_for(task)()
+                task.reincarnate(self.new_operator_for(task), backend)
+                task.restore_snapshot(snapshot)
+        for task in self._planned_tasks():
+            if isinstance(task, SourceTask):
+                task.restart_emission()
 
     def recover_without_replay(self) -> None:
         """At-most-once recovery: dead tasks come back empty and sources
         continue from their *current* position (no rewind)."""
-        for node_id, tasks in self.node_tasks.items():
-            node = self.graph.nodes[node_id]
-            for task in tasks:
-                if not task.dead:
-                    continue
-                if isinstance(task, SourceTask):
-                    task.reincarnate()
-                    task._next_arrival = self.kernel.now()
-                    task.restart_emission()
-                else:
-                    backend = None
-                    if not task.state_backend.survives_task_failure:
-                        factory = node.state_backend_factory or self.config.state_backend_factory
-                        backend = factory()
-                    task.reincarnate(node.new_operator(), backend)
+        for task in self._planned_tasks():
+            if not task.dead:
+                continue
+            if isinstance(task, SourceTask):
+                task.reincarnate()
+                task._next_arrival = self.kernel.now()
+                task.restart_emission()
+            else:
+                backend = None
+                if not task.state_backend.survives_task_failure:
+                    backend = self.backend_factory_for(task)()
+                task.reincarnate(self.new_operator_for(task), backend)
 
     # ------------------------------------------------------------------
     def tasks_of(self, node_name: str) -> list[Task]:
@@ -428,8 +573,16 @@ class Engine:
         for node in self.graph.topological_order():
             tasks = self.node_tasks.get(node.node_id, [])
             kind = "source" if node.is_source else type(tasks[0].operator).__name__ if tasks else "?"
-            lines.append(f"  {node.name} [{kind}] x{len(tasks)}")
+            group = self._chained_nodes.get(node.node_id)
+            if group is not None and node is not group[0]:
+                lines.append(f"  {node.name} [fused into {group[0].name}]")
+            else:
+                lines.append(f"  {node.name} [{kind}] x{len(tasks)}")
             for edge in self.graph.outputs_of(node.node_id):
+                if self._is_fused_edge(edge):
+                    target = self.graph.nodes[edge.target_id]
+                    lines.append(f"    -> {target.name} [chained]")
+                    continue
                 target = self.graph.nodes[edge.target_id]
                 spec = self.config.channel_for(edge.channel)
                 feedback = " (feedback)" if edge.is_feedback else ""

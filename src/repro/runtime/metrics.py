@@ -9,7 +9,12 @@ lengths for backpressure detection.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
+
+#: ring-buffer capacity for queue-length samples: long simulations keep only
+#: the most recent window instead of growing without bound
+QUEUE_SAMPLE_CAPACITY = 4096
 
 
 @dataclass
@@ -24,8 +29,11 @@ class TaskMetrics:
     state_reads: int = 0
     state_writes: int = 0
     dropped: int = 0
-    #: (virtual time, mailbox length) samples
-    queue_samples: list[tuple[float, int]] = field(default_factory=list)
+    #: (virtual time, mailbox length) samples — bounded ring buffer; the
+    #: elasticity controller only ever looks at a recent window anyway
+    queue_samples: deque[tuple[float, int]] = field(
+        default_factory=lambda: deque(maxlen=QUEUE_SAMPLE_CAPACITY)
+    )
     started_at: float = 0.0
     finished_at: float | None = None
     failures: int = 0

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
@@ -191,11 +192,11 @@ class Task:
         self._merger = WatermarkMerger(0)
         self._merger_slots: dict[int, int] = {}
 
-        self._mailbox: list[_MailboxItem] = []
+        self._mailbox: deque[_MailboxItem] = deque()
         self._busy = False
         self._output_blocked = False
         self._blocked_since: float | None = None
-        self._pending_output: list[StreamElement] = []
+        self._pending_output: deque[StreamElement] = deque()
         self._side_pending: list[tuple[str, StreamElement]] = []
 
         self._event_timers: list[tuple[float, int, Any, Any]] = []
@@ -320,7 +321,7 @@ class Task:
         # Skip elements from inputs blocked by barrier alignment.
         item: _MailboxItem | None = None
         while self._mailbox:
-            candidate = self._mailbox.pop(0)
+            candidate = self._mailbox.popleft()
             if candidate.channel_index in self._blocked_inputs and not isinstance(
                 candidate.element, CheckpointBarrier
             ):
@@ -540,7 +541,7 @@ class Task:
             self._blocked_inputs.clear()
             self._align_id = None
             # Re-inject buffered elements ahead of the rest of the mailbox.
-            self._mailbox[0:0] = self._align_buffer
+            self._mailbox.extendleft(reversed(self._align_buffer))
             self._align_buffer = []
 
     def _snapshot_and_forward(self, barrier: CheckpointBarrier) -> None:
@@ -613,7 +614,7 @@ class Task:
 
     def _flush_outputs(self) -> None:
         while self._pending_output:
-            element = self._pending_output.pop(0)
+            element = self._pending_output.popleft()
             if isinstance(element, Record):
                 self.metrics.records_out += 1
             clear = True

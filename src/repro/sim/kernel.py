@@ -5,12 +5,18 @@ runtime schedules record deliveries, timer firings, checkpoint triggers,
 failure injections and recovery actions as timestamped events on a single
 priority queue. Ties are broken by insertion sequence, which makes every
 simulation fully deterministic for a given seed.
+
+Events scheduled for exactly ``now()`` — the dominant case for zero-latency
+intra-machine hops — take a heap-free fast path: a FIFO *same-time bucket*
+drained before the heap is consulted. The dispatch order is still the exact
+global (time, insertion-seq) order, so the bucket is a pure optimisation.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -55,9 +61,15 @@ class Kernel:
         kernel.run()
     """
 
-    def __init__(self, clock: VirtualClock | None = None) -> None:
+    def __init__(self, clock: VirtualClock | None = None, same_time_bucket: bool = True) -> None:
         self.clock = clock or VirtualClock()
         self._queue: list[_ScheduledEvent] = []
+        #: FIFO bucket for events scheduled at exactly ``now()`` — the
+        #: dominant case for zero-latency local hops. Bucket events skip the
+        #: heap entirely; dispatch order is still the global (time, seq)
+        #: order, so enabling the bucket is observably identical.
+        self._soon: deque[_ScheduledEvent] = deque()
+        self._same_time_bucket = same_time_bucket
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
@@ -68,11 +80,18 @@ class Kernel:
     # ------------------------------------------------------------------
     def call_at(self, time: float, action: Callable[[], None]) -> EventHandle:
         """Schedule ``action`` to run at absolute virtual ``time``."""
-        if time < self.clock.now() - 1e-12:
+        now = self.clock.now()
+        if time < now - 1e-12:
             raise SimulationError(
-                f"cannot schedule event at {time} before now={self.clock.now()}"
+                f"cannot schedule event at {time} before now={now}"
             )
-        event = _ScheduledEvent(max(time, self.clock.now()), next(self._seq), action)
+        if time <= now:
+            if self._same_time_bucket:
+                event = _ScheduledEvent(now, next(self._seq), action)
+                self._soon.append(event)
+                return EventHandle(event)
+            time = now
+        event = _ScheduledEvent(time, next(self._seq), action)
         heapq.heappush(self._queue, event)
         return EventHandle(event)
 
@@ -104,20 +123,32 @@ class Kernel:
             raise SimulationError("kernel is already running (re-entrant run())")
         self._running = True
         self._stopped = False
+        queue = self._queue
+        soon = self._soon
         try:
-            while self._queue:
+            while queue or soon:
                 if self._stopped:
                     break
                 if max_events is not None and self._dispatched >= max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; possible livelock"
                     )
-                event = heapq.heappop(self._queue)
+                # Bucket events are at the current time; the heap may still
+                # hold a same-time event scheduled *earlier* — preserve the
+                # global (time, seq) tie-break by comparing heads.
+                if soon:
+                    head = soon[0]
+                    if queue and queue[0].time <= head.time and queue[0].seq < head.seq:
+                        event = heapq.heappop(queue)
+                    else:
+                        event = soon.popleft()
+                else:
+                    event = heapq.heappop(queue)
                 if event.cancelled:
                     continue
                 if until is not None and event.time > until:
                     # Put it back for a later run() call and advance to the horizon.
-                    heapq.heappush(self._queue, event)
+                    heapq.heappush(queue, event)
                     self.clock.advance_to(until)
                     break
                 self.clock.advance_to(event.time)
@@ -143,7 +174,9 @@ class Kernel:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for e in self._queue if not e.cancelled)
+        return sum(1 for e in self._queue if not e.cancelled) + sum(
+            1 for e in self._soon if not e.cancelled
+        )
 
     @property
     def dispatched_events(self) -> int:

@@ -126,3 +126,84 @@ class TestPartitionFilter:
     def test_non_hash_accepts_everything(self):
         owns = make_partition_filter(Partitioning.REBALANCE, 0, 3, 128)
         assert owns("anything")
+
+
+class TestBatchedDelivery:
+    """Same-arrival-time elements coalesce into one kernel event; FIFO order
+    and per-record credit accounting are unchanged."""
+
+    def _batched_channel(self, kernel, batch_size, capacity=None, jitter=0.0):
+        task = FakeTask()
+        channel = PhysicalChannel(
+            kernel,
+            ChannelSpec(latency=1e-4, jitter=jitter, capacity=capacity, batch_size=batch_size),
+            task,
+            receiver_channel_index=0,
+            rng=SimRandom(0, "batch"),
+        )
+        return task, channel
+
+    def test_same_time_sends_coalesce_into_one_event(self):
+        kernel = Kernel()
+        task, channel = self._batched_channel(kernel, batch_size=8)
+        for i in range(5):
+            channel.send(Record(value=i))
+        before = kernel.dispatched_events
+        kernel.run()
+        # one delivery event for the whole burst (all five share an arrival)
+        assert kernel.dispatched_events - before == 1
+        assert [e.value for _ch, e in task.received] == [0, 1, 2, 3, 4]
+        assert channel.sent == 5
+        assert channel.delivered == 5
+
+    def test_batch_size_caps_coalescing(self):
+        kernel = Kernel()
+        task, channel = self._batched_channel(kernel, batch_size=2)
+        for i in range(5):
+            channel.send(Record(value=i))
+        before = kernel.dispatched_events
+        kernel.run()
+        # ceil(5/2) = 3 delivery events
+        assert kernel.dispatched_events - before == 3
+        assert [e.value for _ch, e in task.received] == [0, 1, 2, 3, 4]
+
+    def test_distinct_arrival_times_do_not_coalesce(self):
+        kernel = Kernel()
+        task, channel = self._batched_channel(kernel, batch_size=8)
+        channel.send(Record(value="a"))
+        kernel.run(until=1.0)
+        channel.send(Record(value="b"))
+        kernel.run()
+        assert [e.value for _ch, e in task.received] == ["a", "b"]
+
+    def test_credits_accounted_per_record_not_per_batch(self):
+        kernel = Kernel()
+        task, channel = self._batched_channel(kernel, batch_size=8, capacity=3)
+        results = [channel.send(Record(value=i)) for i in range(5)]
+        # 3 credits: first three sent, remaining two parked in the backlog
+        assert results == [True, True, True, False, False]
+        assert channel.backlog_size == 2
+        kernel.run()
+        # FakeTask returns each credit on delivery, draining the backlog
+        assert [e.value for _ch, e in task.received] == [0, 1, 2, 3, 4]
+        assert channel.credits == 3
+
+    def test_unbatched_default_unchanged(self):
+        kernel = Kernel()
+        task, channel = self._batched_channel(kernel, batch_size=1)
+        for i in range(4):
+            channel.send(Record(value=i))
+        before = kernel.dispatched_events
+        kernel.run()
+        assert kernel.dispatched_events - before == 4
+        assert [e.value for _ch, e in task.received] == [0, 1, 2, 3]
+
+    def test_control_elements_keep_in_band_position(self):
+        kernel = Kernel()
+        task, channel = self._batched_channel(kernel, batch_size=8)
+        channel.send(Record(value=1))
+        channel.send(Watermark(10.0))
+        channel.send(Record(value=2))
+        kernel.run()
+        kinds = [type(e).__name__ for _ch, e in task.received]
+        assert kinds == ["Record", "Watermark", "Record"]

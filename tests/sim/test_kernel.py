@@ -141,3 +141,89 @@ class TestVirtualClock:
         assert clock.now() == 1.0
         with pytest.raises(SimulationError):
             clock.advance_to(0.5)
+
+
+class TestSameTimeBucket:
+    """The heap-free fast path for events scheduled at exactly now()."""
+
+    def test_call_soon_skips_the_heap(self):
+        kernel = Kernel()
+        kernel.call_soon(lambda: None)
+        assert len(kernel._queue) == 0
+        assert len(kernel._soon) == 1
+        assert kernel.pending_events == 1
+
+    def test_disabled_bucket_uses_the_heap(self):
+        kernel = Kernel(same_time_bucket=False)
+        kernel.call_soon(lambda: None)
+        assert len(kernel._queue) == 1
+        assert len(kernel._soon) == 0
+
+    def test_dispatch_order_identical_with_and_without_bucket(self):
+        """The bucket must reproduce the exact global (time, seq) order:
+        interleave call_at-at-now, call_soon, and future events."""
+
+        def drive(same_time_bucket):
+            kernel = Kernel(same_time_bucket=same_time_bucket)
+            seen = []
+
+            def at_one():
+                seen.append("t1")
+                # same-time events created mid-dispatch, interleaved with a
+                # heap event at the same time scheduled earlier (below)
+                kernel.call_soon(lambda: seen.append("soon-a"))
+                kernel.call_at(kernel.now(), lambda: seen.append("at-now"))
+                kernel.call_soon(lambda: seen.append("soon-b"))
+
+            kernel.call_at(1.0, at_one)
+            kernel.call_at(1.0, lambda: seen.append("t1-later-seq"))
+            kernel.call_at(2.0, lambda: seen.append("t2"))
+            kernel.call_soon(lambda: seen.append("t0-soon"))
+            kernel.run()
+            return seen
+
+        assert drive(True) == drive(False)
+        assert drive(True) == ["t0-soon", "t1", "t1-later-seq", "soon-a", "at-now", "soon-b", "t2"]
+
+    def test_bucket_event_cancellation(self):
+        kernel = Kernel()
+        seen = []
+        handle = kernel.call_soon(lambda: seen.append("cancelled"))
+        kernel.call_soon(lambda: seen.append("kept"))
+        handle.cancel()
+        kernel.run()
+        assert seen == ["kept"]
+        assert kernel.pending_events == 0
+
+    def test_bucket_drains_before_clock_advances(self):
+        kernel = Kernel()
+        seen = []
+        kernel.call_at(1.0, lambda: kernel.call_soon(lambda: seen.append(kernel.now())))
+        kernel.call_at(2.0, lambda: seen.append(kernel.now()))
+        kernel.run()
+        assert seen == [1.0, 2.0]
+
+    def test_run_until_preserves_pending_bucketless_future_events(self):
+        kernel = Kernel()
+        seen = []
+        kernel.call_soon(lambda: seen.append("now"))
+        kernel.call_at(5.0, lambda: seen.append("later"))
+        kernel.run(until=1.0)
+        assert seen == ["now"]
+        assert kernel.now() == 1.0
+        kernel.run()
+        assert seen == ["now", "later"]
+
+    def test_determinism_across_identical_runs(self):
+        def drive():
+            kernel = Kernel()
+            order = []
+            for i in range(50):
+                if i % 3 == 0:
+                    kernel.call_soon(lambda i=i: order.append(i))
+                else:
+                    kernel.call_at(float(i % 7), lambda i=i: order.append(i))
+            kernel.run()
+            return order
+
+        assert drive() == drive()
