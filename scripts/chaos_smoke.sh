@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Chaos smoke sweep: the standard scenario grid under seeded fault
+# schedules, capped at ~30 seconds of wall clock. Any oracle violation
+# prints a copy-pasteable minimal reproducer and fails the script.
+# Usage: scripts/chaos_smoke.sh [--seed N] [--schedules K]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="${PYTHONPATH:+$PYTHONPATH:}src"
+
+echo "== chaos smoke (budget 30s) =="
+python -m repro.chaos.smoke --budget 30 "$@"

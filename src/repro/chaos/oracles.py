@@ -1,0 +1,295 @@
+"""Invariant oracles: what must hold under *any* fault schedule.
+
+Oracles are pluggable probes registered on an :class:`OracleSuite`. They
+run at kernel time (a periodic probe between events, observing live task
+and channel state) and once more after the run, so violations are caught
+while the evidence is still in memory — not only by post-hoc auditing.
+
+Built-in oracles:
+
+* :class:`WatermarkMonotonicityOracle` — a task's watermark never moves
+  backwards within one incarnation (rewinds are legal only across a kill);
+* :class:`CreditConservationOracle` — flow-control credits never leak or
+  overflow, and a backlogged channel holds zero credits;
+* :class:`CheckpointConsistencyOracle` — completed checkpoints are whole
+  (contain a source snapshot), finish after they start, and capture
+  non-decreasing source offsets in completion order: every restored state
+  is a prefix of the input;
+* :class:`DeliveryOracle` — the end-to-end guarantee: the observed output
+  multiset matches the expectation floor (losses / duplicates allowed only
+  when the configured guarantee or the injected palette permits them), and
+  the job actually finished (liveness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from repro.chaos.schedule import DUPLICATING_KINDS, LOSSY_KINDS, FaultSchedule
+from repro.fault.guarantees import audit_delivery
+from repro.runtime.config import GuaranteeLevel
+from repro.sim.kernel import PeriodicTimer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.engine import Engine
+
+
+@dataclass(frozen=True)
+class OracleViolation:
+    oracle: str
+    time: float
+    message: str
+
+    def describe(self) -> str:
+        """One-line rendering: ``[oracle @ t=...] message``."""
+        return f"[{self.oracle} @ t={self.time:.6f}] {self.message}"
+
+
+class Oracle:
+    """Base oracle: override :meth:`probe` and/or :meth:`finish`."""
+
+    name = "oracle"
+
+    def attach(self, engine: "Engine") -> None:
+        """Called once before the run starts."""
+
+    def probe(self, engine: "Engine") -> list[OracleViolation]:
+        """Called at kernel time, between events, while the job runs."""
+        return []
+
+    def finish(self, engine: "Engine") -> list[OracleViolation]:
+        """Called after the run quiesces or hits its horizon."""
+        return []
+
+    def _violation(self, engine: "Engine", message: str) -> OracleViolation:
+        return OracleViolation(self.name, engine.kernel.now(), message)
+
+
+class WatermarkMonotonicityOracle(Oracle):
+    name = "watermark-monotonic"
+
+    def __init__(self) -> None:
+        self._seen: dict[str, tuple[int, float]] = {}
+
+    def probe(self, engine: "Engine") -> list[OracleViolation]:
+        violations = []
+        for name, task in engine.tasks.items():
+            watermark = task.current_watermark
+            previous = self._seen.get(name)
+            if previous is not None:
+                incarnation, last = previous
+                if incarnation == task.incarnation and watermark < last - 1e-12:
+                    violations.append(
+                        self._violation(
+                            engine,
+                            f"{name} watermark regressed {last:.6f} -> "
+                            f"{watermark:.6f} within incarnation {incarnation}",
+                        )
+                    )
+            self._seen[name] = (task.incarnation, watermark)
+        return violations
+
+
+class CreditConservationOracle(Oracle):
+    name = "credit-conservation"
+
+    def probe(self, engine: "Engine") -> list[OracleViolation]:
+        violations = []
+        for channel in engine.iter_physical_channels():
+            capacity = channel.spec.capacity
+            if capacity is None:
+                continue
+            label = f"{channel.sender.name if channel.sender else '?'}->{channel.receiver.name}"
+            if channel.credits < 0 or channel.credits > capacity:
+                violations.append(
+                    self._violation(
+                        engine,
+                        f"{label} credits={channel.credits} outside [0, {capacity}]",
+                    )
+                )
+            elif channel.backlog_size > 0 and channel.credits > 0:
+                violations.append(
+                    self._violation(
+                        engine,
+                        f"{label} holds {channel.credits} credits with a "
+                        f"backlog of {channel.backlog_size}",
+                    )
+                )
+        return violations
+
+    def finish(self, engine: "Engine") -> list[OracleViolation]:
+        return self.probe(engine)
+
+
+class CheckpointConsistencyOracle(Oracle):
+    name = "checkpoint-consistency"
+
+    def _check(self, engine: "Engine") -> list[OracleViolation]:
+        violations = []
+        last_offsets: dict[str, int] = {}
+        for checkpoint_id in engine.completed_checkpoints:
+            record = engine.checkpoints.get(checkpoint_id)
+            if record is None or record.completed_at is None:
+                violations.append(
+                    self._violation(
+                        engine, f"checkpoint {checkpoint_id} listed complete but has no record"
+                    )
+                )
+                continue
+            if record.completed_at < record.triggered_at:
+                violations.append(
+                    self._violation(
+                        engine,
+                        f"checkpoint {checkpoint_id} completed at "
+                        f"{record.completed_at:.6f} before trigger {record.triggered_at:.6f}",
+                    )
+                )
+            offsets = {
+                name: snap.source_offset
+                for name, snap in record.snapshots.items()
+                if snap.source_offset is not None
+            }
+            if not offsets:
+                violations.append(
+                    self._violation(
+                        engine, f"checkpoint {checkpoint_id} contains no source snapshot"
+                    )
+                )
+            for name, offset in offsets.items():
+                if offset < last_offsets.get(name, 0):
+                    violations.append(
+                        self._violation(
+                            engine,
+                            f"checkpoint {checkpoint_id} rewinds {name} offset "
+                            f"{last_offsets[name]} -> {offset}: restored state "
+                            "would not be a prefix of the input",
+                        )
+                    )
+                last_offsets[name] = offset
+        return violations
+
+    def probe(self, engine: "Engine") -> list[OracleViolation]:
+        return self._check(engine)
+
+    def finish(self, engine: "Engine") -> list[OracleViolation]:
+        return self._check(engine)
+
+
+@dataclass(frozen=True)
+class GuaranteeExpectation:
+    """The delivery floor a run must clear."""
+
+    level: GuaranteeLevel
+    allow_duplicates: bool
+    allow_losses: bool
+
+    @classmethod
+    def for_run(
+        cls, level: GuaranteeLevel, schedule: FaultSchedule | None = None
+    ) -> "GuaranteeExpectation":
+        """Expectation from the configured guarantee, relaxed by the faults
+        actually injected: channel drops make losses legitimate, injected
+        duplicates make duplicates legitimate."""
+        allow_duplicates = level is GuaranteeLevel.AT_LEAST_ONCE
+        allow_losses = level is GuaranteeLevel.AT_MOST_ONCE
+        if schedule is not None:
+            kinds = schedule.kinds()
+            if kinds & LOSSY_KINDS:
+                allow_losses = True
+            if kinds & DUPLICATING_KINDS:
+                allow_duplicates = True
+        return cls(level, allow_duplicates, allow_losses)
+
+
+class DeliveryOracle(Oracle):
+    name = "delivery-guarantee"
+
+    def __init__(
+        self,
+        expected: Iterable[Any],
+        observed: Callable[[], Iterable[Any]],
+        expectation: GuaranteeExpectation,
+        identity: Callable[[Any], Any] = lambda v: repr(v),
+    ) -> None:
+        self._expected = list(expected)
+        self._observed = observed
+        self.expectation = expectation
+        self._identity = identity
+
+    def finish(self, engine: "Engine") -> list[OracleViolation]:
+        violations = []
+        if not engine.job_finished:
+            violations.append(
+                self._violation(engine, "liveness: job did not finish before the horizon")
+            )
+        audit = audit_delivery(self._expected, self._observed(), identity=self._identity)
+        if audit.losses > 0 and not self.expectation.allow_losses:
+            violations.append(
+                self._violation(
+                    engine,
+                    f"{audit.losses} losses under {self.expectation.level.value} "
+                    f"(observed {audit.observed}/{audit.expected})",
+                )
+            )
+        if audit.duplicates > 0 and not self.expectation.allow_duplicates:
+            violations.append(
+                self._violation(
+                    engine,
+                    f"{audit.duplicates} duplicates under {self.expectation.level.value} "
+                    f"(observed {audit.observed}/{audit.expected})",
+                )
+            )
+        return violations
+
+
+def standard_oracles() -> list[Oracle]:
+    """The always-on invariant set (delivery needs scenario wiring)."""
+    return [
+        WatermarkMonotonicityOracle(),
+        CreditConservationOracle(),
+        CheckpointConsistencyOracle(),
+    ]
+
+
+class OracleSuite:
+    """Registry driving a set of oracles against one engine run."""
+
+    def __init__(self, oracles: Iterable[Oracle], probe_interval: float = 0.01) -> None:
+        self.oracles = list(oracles)
+        self.probe_interval = probe_interval
+        self.violations: list[OracleViolation] = []
+        self._timer: PeriodicTimer | None = None
+
+    def install(self, engine: "Engine") -> None:
+        """Attach oracles and start the kernel-time probe."""
+        for oracle in self.oracles:
+            oracle.attach(engine)
+
+        def probe() -> None:
+            if engine.job_finished:
+                if self._timer is not None:
+                    self._timer.cancel()
+                return
+            for oracle in self.oracles:
+                self.violations.extend(oracle.probe(engine))
+
+        self._timer = PeriodicTimer(engine.kernel, self.probe_interval, probe)
+
+    def finalize(self, engine: "Engine") -> list[OracleViolation]:
+        """Run post-run checks; returns all violations (probe + final)."""
+        if self._timer is not None:
+            self._timer.cancel()
+        for oracle in self.oracles:
+            self.violations.extend(oracle.finish(engine))
+        return self.violations
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def verdict(self) -> str:
+        """Stable one-line-per-violation summary ("OK" when clean)."""
+        if not self.violations:
+            return "OK"
+        return "\n".join(v.describe() for v in self.violations)

@@ -1,0 +1,305 @@
+"""Chaos scenarios: (pipeline shape, guarantee config, fault palette).
+
+Each scenario pairs one of the physical-plan shapes the engine grows —
+forward chain (fusable under chaining), keyed shuffle (hash exchange,
+multi-input alignment), fan-in join (two sources into one aligned task),
+feedback loop (cyclic dataflow) — with the guarantee configuration a
+production job of that shape would run, the deterministic expected output,
+and the fault kinds that are *survivable* at that guarantee:
+
+* kills are excluded from the feedback loop (records circulating on the
+  feedback edge live outside any snapshot, so fail-stop loses them by
+  design — the survey's known limitation of loop-carried state);
+* drops appear only where losses are part of the contract (at-most-once);
+* reorder/duplicate appear only where the audit tolerates them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.chaos.schedule import (
+    BARRIER_LOSS,
+    DELAY,
+    DROP,
+    DUPLICATE,
+    KILL,
+    REORDER,
+    STALL,
+    PaletteConfig,
+)
+from repro.core.datastream import StreamExecutionEnvironment
+from repro.core.events import Record
+from repro.core.graph import Partitioning
+from repro.core.operators.base import Operator, OperatorContext
+from repro.fault.guarantees import config_for_guarantee
+from repro.io.sinks import CollectSink, Sink, TransactionalSink
+from repro.io.sources import CollectionWorkload, SensorWorkload
+from repro.runtime.config import EngineConfig, GuaranteeLevel
+from repro.runtime.engine import Engine
+
+
+@dataclass
+class ScenarioRun:
+    """One freshly built, not-yet-started execution of a scenario."""
+
+    engine: Engine
+    expected: list[Any]
+    observed: Callable[[], list[Any]]
+
+
+#: (chaining_enabled, channel_batch_size, same_time_bucket)
+FlagTriple = tuple[bool, int, bool]
+
+
+@dataclass
+class Scenario:
+    name: str
+    #: the guarantee the engine is *configured* for (sink type, checkpoint
+    #: mode, recovery policy all follow from it)
+    level: GuaranteeLevel
+    build: Callable[[EngineConfig], ScenarioRun]
+    palette: PaletteConfig
+    #: the guarantee the delivery oracle *checks* — defaults to ``level``;
+    #: set higher to model a deliberately broken deployment
+    expect_level: GuaranteeLevel | None = None
+    horizon: float = 60.0
+    checkpoint_interval: float = 0.02
+    detection_delay: float = 0.005
+    config_overrides: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def expectation_level(self) -> GuaranteeLevel:
+        return self.expect_level or self.level
+
+    def make_config(self, seed: int, flags: FlagTriple) -> EngineConfig:
+        """Engine config for this scenario's guarantee + one flag triple."""
+        chaining, batch, bucket = flags
+        config = config_for_guarantee(
+            self.level,
+            checkpoint_interval=self.checkpoint_interval,
+            seed=seed,
+            chaining_enabled=chaining,
+            channel_batch_size=batch,
+            same_time_bucket=bucket,
+            **self.config_overrides,
+        )
+        if config.checkpoints is not None:
+            # Chaos can lose barriers / stall snapshots: never let one
+            # wedged checkpoint freeze the coordinator.
+            config.checkpoints.timeout = 5 * self.checkpoint_interval
+        return config
+
+
+def _make_sink(level: GuaranteeLevel) -> tuple[Sink, Callable[[], list[Any]]]:
+    """The sink a job at ``level`` would use, plus its observation lens:
+    committed results for exactly-once, raw results otherwise."""
+    if level is GuaranteeLevel.EXACTLY_ONCE:
+        sink = TransactionalSink("chaos-out")
+        return sink, lambda: [r.value for r in sink.committed]
+    collect = CollectSink("chaos-out")
+    return collect, lambda: [r.value for r in collect.results]
+
+
+# ----------------------------------------------------------------------
+# shape 1: forward chain — source -> map -> filter -> map -> sink
+# ----------------------------------------------------------------------
+def forward_chain(level: GuaranteeLevel = GuaranteeLevel.EXACTLY_ONCE) -> Scenario:
+    """Straight-line pipeline, parallelism 1 — fully fusable under chaining."""
+    events = 240
+    workload = SensorWorkload(count=events, rate=3000.0, key_count=4, seed=911)
+    expected = [value * 2 + 1 for value in range(events)]
+
+    def build(config: EngineConfig) -> ScenarioRun:
+        sink, observed = _make_sink(level)
+        env = StreamExecutionEnvironment(config, name="chaos-forward-chain")
+        (
+            env.from_workload(workload, name="src")
+            .map(lambda v: v["seq"] * 2, name="double")
+            .filter(lambda v: v >= 0, name="keep")
+            .map(lambda v: v + 1, name="inc")
+            .sink(sink, name="out")
+        )
+        return ScenarioRun(env.build(), list(expected), observed)
+
+    # Reorder is safe at every level here: the audit is a multiset
+    # comparison and the chain has no order-sensitive state.
+    kinds: tuple[str, ...] = (KILL, DELAY, STALL, REORDER)
+    if level is GuaranteeLevel.AT_MOST_ONCE:
+        kinds = (KILL, DROP, DELAY, STALL, REORDER)
+    elif level is GuaranteeLevel.AT_LEAST_ONCE:
+        kinds = (KILL, DUPLICATE, DELAY, STALL, REORDER)
+    return Scenario(
+        name=f"forward-chain/{level.value}",
+        level=level,
+        build=build,
+        palette=PaletteConfig(kinds=kinds, window=0.12, max_magnitude=0.03),
+    )
+
+
+# ----------------------------------------------------------------------
+# shape 2: keyed shuffle — source -> key_by -> reduce(count) -> sink
+# ----------------------------------------------------------------------
+def keyed_shuffle(level: GuaranteeLevel = GuaranteeLevel.AT_LEAST_ONCE) -> Scenario:
+    """Hash-partitioned running count, parallelism 2, flow control on."""
+    events = 240
+    workload = SensorWorkload(count=events, rate=3000.0, key_count=4, seed=417)
+    counts: dict[str, int] = {}
+    expected: list[Any] = []
+    for event in workload.events():
+        sensor = event.value["sensor"]
+        counts[sensor] = counts.get(sensor, 0) + 1
+        expected.append((sensor, counts[sensor]))
+
+    def build(config: EngineConfig) -> ScenarioRun:
+        sink, observed = _make_sink(level)
+        env = StreamExecutionEnvironment(config, name="chaos-keyed-shuffle")
+        (
+            env.from_workload(workload, name="src")
+            .map(lambda v: (v["sensor"], 1), name="pair")
+            .key_by(lambda v: v[0], parallelism=2)
+            .reduce(lambda a, b: (a[0], a[1] + b[1]), name="count", parallelism=2)
+            .sink(sink, name="out", parallelism=1)
+        )
+        return ScenarioRun(env.build(), list(expected), observed)
+
+    kinds: tuple[str, ...] = (KILL, DELAY, STALL, BARRIER_LOSS)
+    if level is GuaranteeLevel.AT_LEAST_ONCE:
+        kinds = (KILL, DUPLICATE, DELAY, STALL, BARRIER_LOSS)
+    elif level is GuaranteeLevel.AT_MOST_ONCE:
+        kinds = (KILL, DROP, DELAY, STALL)
+    return Scenario(
+        name=f"keyed-shuffle/{level.value}",
+        level=level,
+        build=build,
+        palette=PaletteConfig(kinds=kinds, window=0.12, max_magnitude=0.03),
+        config_overrides={"flow_control": True},
+    )
+
+
+# ----------------------------------------------------------------------
+# shape 3: fan-in join — two sources -> union (aligned 2-input) -> sink
+# ----------------------------------------------------------------------
+def fan_in_join(level: GuaranteeLevel = GuaranteeLevel.EXACTLY_ONCE) -> Scenario:
+    """Two sources into one union task — exercises 2-input barrier alignment."""
+    left_values = list(range(0, 150))
+    right_values = list(range(1000, 1150))
+    expected = [v * 10 for v in left_values + right_values]
+
+    def build(config: EngineConfig) -> ScenarioRun:
+        sink, observed = _make_sink(level)
+        env = StreamExecutionEnvironment(config, name="chaos-fan-in")
+        left = env.from_workload(CollectionWorkload(left_values, rate=2500.0), name="left")
+        right = env.from_workload(CollectionWorkload(right_values, rate=2500.0), name="right")
+        (
+            left.union(right, name="merge", parallelism=1)
+            .map(lambda v: v * 10, name="scale")
+            .sink(sink, name="out")
+        )
+        return ScenarioRun(env.build(), list(expected), observed)
+
+    kinds: tuple[str, ...] = (KILL, DELAY, STALL, BARRIER_LOSS)
+    if level is GuaranteeLevel.AT_LEAST_ONCE:
+        kinds = (KILL, DUPLICATE, DELAY, STALL, BARRIER_LOSS)
+    elif level is GuaranteeLevel.AT_MOST_ONCE:
+        kinds = (KILL, DROP, DELAY, STALL)
+    return Scenario(
+        name=f"fan-in-join/{level.value}",
+        level=level,
+        build=build,
+        palette=PaletteConfig(kinds=kinds, window=0.1, max_magnitude=0.03),
+    )
+
+
+# ----------------------------------------------------------------------
+# shape 4: feedback loop — Collatz refinement on a cyclic dataflow
+# ----------------------------------------------------------------------
+class _CollatzStep(Operator):
+    """One loop iteration: emits ('done', n, steps) at 1, else loops."""
+
+    def process(self, record: Record, ctx: OperatorContext) -> None:
+        origin, value, steps = record.value
+        if value == 1:
+            ctx.emit(record.with_value(("done", origin, steps)))
+            return
+        next_value = value // 2 if value % 2 == 0 else 3 * value + 1
+        ctx.emit(record.with_value(("loop", (origin, next_value, steps + 1))))
+
+
+def _collatz_steps(n: int) -> int:
+    steps = 0
+    while n != 1:
+        n = n // 2 if n % 2 == 0 else 3 * n + 1
+        steps += 1
+    return steps
+
+
+def feedback_loop() -> Scenario:
+    """Cyclic dataflow under delay/stall/duplicate chaos.
+
+    Configured without checkpoints (barriers would orbit a cycle forever)
+    and without kills (loop-carried records are unsnapshottable), but the
+    *expectation* is still exactly-once: delays and stalls must never lose
+    or duplicate a loop result.
+    """
+    inputs = [3, 6, 7, 11, 19, 27]
+    expected = [("done", n, _collatz_steps(n)) for n in inputs]
+
+    def build(config: EngineConfig) -> ScenarioRun:
+        sink, observed = _make_sink(GuaranteeLevel.AT_MOST_ONCE)  # CollectSink
+        env = StreamExecutionEnvironment(config, name="chaos-feedback")
+        seeded = env.from_workload(
+            CollectionWorkload([(n, n, 0) for n in inputs], rate=2000.0), name="numbers"
+        )
+        step = seeded.apply_operator(_CollatzStep, name="step")
+        done = step.filter(lambda v: v[0] == "done", name="done").map(
+            lambda v: v, name="fwd"
+        )
+        looped = step.filter(lambda v: v[0] == "loop", name="looped").map(
+            lambda v: v[1], name="unpack"
+        )
+        env.graph.add_edge(
+            looped.node, step.node, partitioning=Partitioning.REBALANCE, is_feedback=True
+        )
+        done.sink(sink, name="out")
+        return ScenarioRun(env.build(), list(expected), observed)
+
+    return Scenario(
+        name="feedback-loop",
+        level=GuaranteeLevel.AT_MOST_ONCE,
+        expect_level=GuaranteeLevel.EXACTLY_ONCE,
+        build=build,
+        # Stall/delay magnitudes stay well under the loop's drain-quiescence
+        # window (3 probes x 0.05s): a perturbation may slow the loop but
+        # must never outlast drain detection.
+        palette=PaletteConfig(
+            kinds=(DELAY, STALL, DUPLICATE), window=0.1, max_magnitude=0.03
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+def broken_at_most_once() -> Scenario:
+    """Deliberately mis-deployed job: a plain (at-most-once) sink with no
+    checkpoints, but the operator *claims* exactly-once. Any kill loses the
+    in-flight backlog — the exactly-once oracle must catch it and shrinking
+    must reduce the schedule to the kill alone."""
+    scenario = forward_chain(GuaranteeLevel.AT_MOST_ONCE)
+    return Scenario(
+        name="broken-at-most-once",
+        level=GuaranteeLevel.AT_MOST_ONCE,
+        expect_level=GuaranteeLevel.EXACTLY_ONCE,
+        build=scenario.build,
+        palette=PaletteConfig(kinds=(KILL, DELAY, STALL), window=0.05, max_magnitude=0.02),
+    )
+
+
+def standard_scenarios() -> list[Scenario]:
+    """The shape x guarantee grid the chaos test suite sweeps."""
+    return [
+        forward_chain(GuaranteeLevel.EXACTLY_ONCE),
+        keyed_shuffle(GuaranteeLevel.AT_LEAST_ONCE),
+        fan_in_join(GuaranteeLevel.EXACTLY_ONCE),
+        feedback_loop(),
+    ]

@@ -1,0 +1,79 @@
+"""Chaos smoke sweep: ``python -m repro.chaos.smoke [--budget SECONDS]``.
+
+Runs the standard scenario grid against a reduced flag matrix under a
+wall-clock budget (default 25s), printing one line per cell and a
+reproducer for any violation. Exit code 1 on violation — CI runs this via
+``scripts/chaos_smoke.sh``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.chaos.runner import ChaosRunner, flags_key
+from repro.chaos.scenarios import FlagTriple, standard_scenarios
+
+#: smoke matrix: the two extreme dispatch configurations — everything off,
+#: everything on — which between them cover both delivery code paths
+SMOKE_MATRIX: tuple[FlagTriple, ...] = (
+    (False, 1, False),
+    (True, 4, True),
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the budgeted sweep; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--budget", type=float, default=25.0, help="wall-clock budget in seconds"
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=int(os.environ.get("REPRO_CHAOS_SEED", "0")),
+        help="sweep seed (env REPRO_CHAOS_SEED)",
+    )
+    parser.add_argument(
+        "--schedules", type=int, default=1, help="fault schedules per grid cell"
+    )
+    args = parser.parse_args(argv)
+
+    started = time.monotonic()
+    failures = 0
+    cells = 0
+    for scenario in standard_scenarios():
+        runner = ChaosRunner(
+            scenario,
+            seed=args.seed,
+            schedules_per_config=args.schedules,
+            matrix=SMOKE_MATRIX,
+        )
+        for flags in runner.matrix:
+            for index in range(args.schedules):
+                if time.monotonic() - started > args.budget:
+                    print(
+                        f"budget exhausted after {cells} cells "
+                        f"({time.monotonic() - started:.1f}s) -- stopping early"
+                    )
+                    return 1 if failures else 0
+                report = runner.run_one(flags, schedule_index=index)
+                cells += 1
+                status = "ok" if report.ok else "VIOLATION"
+                print(
+                    f"{status:9s} {scenario.name:28s} {flags_key(flags):28s} "
+                    f"faults={len(report.schedule)} finished={report.finished}"
+                )
+                if not report.ok:
+                    failures += 1
+                    minimal = runner.shrink(report)
+                    print(runner.format_reproducer(minimal))
+    elapsed = time.monotonic() - started
+    print(f"{cells} cells, {failures} violations, {elapsed:.1f}s (seed={args.seed})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

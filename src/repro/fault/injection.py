@@ -7,7 +7,8 @@ experiments are reproducible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Callable
 
 from repro.runtime.engine import Engine
 
@@ -26,12 +27,26 @@ class FailureInjector:
         self.engine = engine
         self.detection_delay = detection_delay
         self.events: list[FailureEvent] = []
-        self._detection_callbacks: list = []
+        self._detection_callbacks: list[Callable[[FailureEvent], None]] = []
 
-    def on_detection(self, callback) -> None:
+    def on_detection(self, callback: Callable[[FailureEvent], None]) -> None:
         """Register ``callback(event)`` invoked ``detection_delay`` after
         each injected failure (the recovery manager's trigger)."""
         self._detection_callbacks.append(callback)
+
+    def _dispatch_detection(self, event: FailureEvent) -> None:
+        # Every registered callback sees the event even when an earlier one
+        # raises (several recovery managers may watch the same injector);
+        # the first error is re-raised once all have run.
+        first_error: BaseException | None = None
+        for callback in self._detection_callbacks:
+            try:
+                callback(event)
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
 
     def schedule_kill(self, task_name: str, at: float) -> FailureEvent:
         """Fail-stop ``task_name`` at virtual time ``at``; detection fires after the delay."""
@@ -43,8 +58,7 @@ class FailureInjector:
 
             def detect() -> None:
                 event.detected_at = self.engine.kernel.now()
-                for callback in self._detection_callbacks:
-                    callback(event)
+                self._dispatch_detection(event)
 
             self.engine.kernel.call_after(self.detection_delay, detect)
 

@@ -245,7 +245,11 @@ class TransactionalSink(Sink):
         )
 
     def flush(self, ctx: OperatorContext) -> None:
-        # Bounded input ended: publish the trailing epoch so results are
-        # observable in tests that never trigger a final checkpoint.
+        # Bounded input ended cleanly: every sealed epoch is final (a
+        # failure before this point would have cleared them via
+        # on_recovery), so publish epochs whose checkpoint never completed
+        # (e.g. aborted on timeout), then the trailing open epoch.
+        for cid in sorted(self._pending.keys()):
+            self.committed.extend(self._pending.pop(cid).buffered)
         self.committed.extend(self._open_epoch.buffered)
         self._open_epoch = _Epoch(checkpoint_id=-1)

@@ -29,6 +29,7 @@ from repro.sim.kernel import Kernel
 from repro.sim.random import SimRandom
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.chaos.faults import ChannelFaultHook
     from repro.runtime.task import Task
 
 
@@ -65,6 +66,14 @@ class PhysicalChannel:
         #: the still-appendable delivery batch (same arrival time), if any
         self._open_batch: list[StreamElement] | None = None
         self._open_batch_arrival = -1.0
+        #: connection epoch: global recovery tears the link down and back up,
+        #: voiding every element still in flight from the previous epoch —
+        #: the simulated equivalent of dropping the old TCP connection.
+        self.epoch = 0
+        #: optional chaos hook (see repro.chaos.faults): consulted once per
+        #: send and may drop, delay, duplicate, or hold the element. None on
+        #: the production path — the cost is one attribute test per send.
+        self.fault_hook: "ChannelFaultHook | None" = None
 
     # ------------------------------------------------------------------
     def send(self, element: StreamElement) -> bool:
@@ -85,7 +94,15 @@ class PhysicalChannel:
         return False
 
     def _schedule_delivery(self, element: StreamElement) -> None:
-        arrival = self._kernel.now() + self._latency
+        hook = self.fault_hook
+        if hook is not None:
+            for perturbed, extra_delay in hook.intercept(self, element):
+                self._do_schedule(perturbed, extra_delay)
+            return
+        self._do_schedule(element, 0.0)
+
+    def _do_schedule(self, element: StreamElement, extra_delay: float) -> None:
+        arrival = self._kernel.now() + self._latency + extra_delay
         if self._draw_jitter is not None:
             arrival += self._draw_jitter()
         # FIFO enforcement: never deliver before what was already scheduled.
@@ -107,9 +124,12 @@ class PhysicalChannel:
         batch = [element]
         self._open_batch = batch
         self._open_batch_arrival = arrival
-        self._kernel.call_at(arrival, lambda: self._deliver_batch(batch))
+        epoch = self.epoch
+        self._kernel.call_at(arrival, lambda: self._deliver_batch(batch, epoch))
 
-    def _deliver_batch(self, batch: list[StreamElement]) -> None:
+    def _deliver_batch(self, batch: list[StreamElement], epoch: int) -> None:
+        if epoch != self.epoch:
+            return  # stale in-flight data from before a connection reset
         if self._open_batch is batch:
             self._open_batch = None
         deliver = self.receiver.deliver
@@ -117,6 +137,33 @@ class PhysicalChannel:
         self.delivered += len(batch)
         for element in batch:
             deliver(index, element, via=self)
+
+    def inject_out_of_band(self, element: StreamElement, extra_delay: float = 0.0) -> None:
+        """Deliver ``element`` outside the credit/FIFO path — a network-level
+        retransmission. Used by chaos duplication so flow-control accounting
+        stays conserved (the copy holds no credit and returns none)."""
+        arrival = self._kernel.now() + self._latency + extra_delay
+        epoch = self.epoch
+
+        def deliver() -> None:
+            if epoch == self.epoch:
+                self.receiver.deliver(self.receiver_channel_index, element, via=None)
+
+        self._kernel.call_at(arrival, deliver)
+
+    def reset(self) -> None:
+        """Tear the connection down and back up (global recovery).
+
+        Everything in flight — scheduled batches, the sender backlog — is
+        voided, credits return to full capacity, and the FIFO clock rewinds
+        so the first post-recovery send is not held behind voided arrivals.
+        """
+        self.epoch += 1
+        self._backlog.clear()
+        self.credits = self.spec.capacity
+        self._open_batch = None
+        self._open_batch_arrival = -1.0
+        self._last_delivery = 0.0
 
     # ------------------------------------------------------------------
     def return_credit(self) -> None:

@@ -42,6 +42,11 @@ class CheckpointConfig:
     write_base_cost: float = 5e-3
     #: incremental: snapshot only entries changed since the last checkpoint
     incremental: bool = False
+    #: abort an in-flight checkpoint that hasn't completed within this many
+    #: virtual seconds (None = wait forever). Without a timeout, a lost
+    #: barrier wedges the coordinator: the pending checkpoint never
+    #: completes, so no further checkpoint is ever triggered.
+    timeout: float | None = None
 
 
 @dataclass

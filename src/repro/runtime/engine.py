@@ -100,6 +100,12 @@ class Engine:
         self.job_finished = False
         self._started = False
         self._expected_snapshot_count = 0
+        self._restore_in_flight = False
+        self._restore_resume_at = 0.0
+        #: bumped by every global restore; a checkpoint whose persistence is
+        #: still in flight when the epoch changes is discarded (the restart
+        #: aborts all pending checkpoints, as real coordinators do)
+        self.execution_epoch = 0
         #: edge-index → {sender task name → OutputGate}; maintained for
         #: dynamic rewiring (rescaling, dynamic topologies)
         self.edge_gates: dict[int, dict[str, OutputGate]] = {}
@@ -390,6 +396,13 @@ class Engine:
             # Previous checkpoint still in flight: skip this trigger (the
             # behaviour of real coordinators under a min-pause policy).
             return None
+        if any(t.dead for t in self.tasks.values()):
+            # A task is down: a snapshot taken now would omit its state and
+            # still complete (dead tasks are not in the expected-ack set),
+            # registering a checkpoint that is not a consistent global
+            # state. Real coordinators decline to trigger until the job is
+            # fully running again.
+            return None
         checkpoint_id = self._next_checkpoint_id
         self._next_checkpoint_id += 1
         record = CheckpointRecord(checkpoint_id, self.kernel.now())
@@ -405,7 +418,24 @@ class Engine:
                 self.on_task_snapshot(task, snapshot, source=True)
                 task.collect_output(barrier)
                 task._flush_outputs()
+        timeout = self.config.checkpoints.timeout
+        if timeout is not None:
+            self.kernel.call_after(timeout, lambda: self._abort_checkpoint(record))
         return checkpoint_id
+
+    def _abort_checkpoint(self, record: CheckpointRecord) -> None:
+        """Give up on a checkpoint stuck in flight (lost barrier, stalled
+        task): later snapshots for it are ignored and the coordinator is
+        free to trigger the next round. Sealed sink epochs stay pending and
+        are published by the next completed checkpoint."""
+        if self._pending_checkpoint is not record or record.complete:
+            return
+        self.checkpoints.pop(record.checkpoint_id, None)
+        self._pending_checkpoint = None
+        # Release any task still blocked aligning on the abandoned barrier —
+        # with a barrier lost in transit the alignment would never resolve.
+        for task in self.tasks.values():
+            task.cancel_alignment(record.checkpoint_id)
 
     def on_task_snapshot(self, task: Task, snapshot: TaskSnapshot, source: bool = False) -> None:
         """Task callback: gather a snapshot into the pending checkpoint."""
@@ -420,8 +450,15 @@ class Engine:
     def _finalize_checkpoint(self, record: CheckpointRecord) -> None:
         cfg = self.config.checkpoints
         persist_cost = cfg.write_base_cost + record.total_bytes() * cfg.write_cost_per_byte
+        epoch = self.execution_epoch
 
         def complete() -> None:
+            if epoch != self.execution_epoch or record.checkpoint_id not in self.checkpoints:
+                # A restore (or abort) intervened while the snapshot was
+                # persisting: the checkpoint belongs to a dead execution and
+                # must never be registered or commit sink epochs.
+                self.checkpoints.pop(record.checkpoint_id, None)
+                return
             record.completed_at = self.kernel.now()
             self.completed_checkpoints.append(record.checkpoint_id)
             for sink in self.sinks.values():
@@ -494,6 +531,11 @@ class Engine:
                 "job already finished: its results are committed; recovering "
                 "now would re-run the pipeline and duplicate output"
             )
+        if self._restore_in_flight:
+            # A concurrent failure detection while a restore is already
+            # scheduled: coalesce — restarting the restore would race two
+            # source-emission chains against each other.
+            return self._restore_resume_at
         record = (
             self.checkpoints.get(checkpoint_id)
             if checkpoint_id is not None
@@ -501,11 +543,19 @@ class Engine:
         )
         if record is None or not record.complete:
             raise CheckpointError("no completed checkpoint to recover from")
+        self.execution_epoch += 1
         for task in self.tasks.values():
             if not task.dead:
                 task.kill()
+        # Global restart re-establishes every connection: in-flight elements
+        # from the failed execution must not leak into the restored one (a
+        # stale EndOfStream would finish the job before the replay arrives).
+        for channel in self.iter_physical_channels():
+            channel.reset()
         restore_delay = self.restore_latency(record.total_bytes())
         resume_at = self.kernel.now() + restore_delay
+        self._restore_in_flight = True
+        self._restore_resume_at = resume_at
         self.kernel.call_at(resume_at, lambda: self._do_restore(record))
         return resume_at
 
@@ -523,6 +573,7 @@ class Engine:
         return planned
 
     def _do_restore(self, record: CheckpointRecord) -> None:
+        self._restore_in_flight = False
         for sink in self.sinks.values():
             if isinstance(sink, TransactionalSink):
                 sink.on_recovery()
@@ -558,6 +609,19 @@ class Engine:
                 task.reincarnate(self.new_operator_for(task), backend)
 
     # ------------------------------------------------------------------
+    def iter_physical_channels(self) -> list[PhysicalChannel]:
+        """Every physical link in the plan, in deterministic (edge, sender,
+        channel) order — chaos targeting and invariant probes walk this."""
+        seen: set[int] = set()
+        channels: list[PhysicalChannel] = []
+        for gates in self.edge_gates.values():
+            for gate in gates.values():
+                for channel in gate.channels:
+                    if id(channel) not in seen:
+                        seen.add(id(channel))
+                        channels.append(channel)
+        return channels
+
     def tasks_of(self, node_name: str) -> list[Task]:
         """All subtasks of a logical node, by name."""
         node = self.graph.node_by_name(node_name)

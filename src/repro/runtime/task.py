@@ -544,6 +544,18 @@ class Task:
             self._mailbox.extendleft(reversed(self._align_buffer))
             self._align_buffer = []
 
+    def cancel_alignment(self, checkpoint_id: int) -> None:
+        """Abort a pending barrier alignment (the coordinator gave up on
+        ``checkpoint_id``): unblock the inputs and re-inject the buffered
+        elements so a lost barrier cannot wedge the task forever."""
+        if self._align_id != checkpoint_id:
+            return
+        self._align_id = None
+        self._blocked_inputs.clear()
+        self._mailbox.extendleft(reversed(self._align_buffer))
+        self._align_buffer = []
+        self._maybe_schedule()
+
     def _snapshot_and_forward(self, barrier: CheckpointBarrier) -> None:
         snapshot = self.take_snapshot(barrier.checkpoint_id)
         hook = getattr(self.operator, "on_checkpoint", None)

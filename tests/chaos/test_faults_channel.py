@@ -1,0 +1,187 @@
+"""ChannelFaultHook unit tests: each channel fault perturbs exactly what it
+claims and keeps credit accounting and control-flow causality intact."""
+
+from __future__ import annotations
+
+from repro.chaos.faults import ChannelFaultHook
+from repro.chaos.schedule import (
+    BARRIER_LOSS,
+    DELAY,
+    DROP,
+    DUPLICATE,
+    REORDER,
+    FaultSpec,
+)
+from repro.core.events import CheckpointBarrier, Record, Watermark
+from repro.core.graph import ChannelSpec
+from repro.runtime.channel import PhysicalChannel
+from repro.sim import Kernel, SimRandom
+
+
+class FakeTask:
+    name = "b[0]"
+
+    def __init__(self):
+        self.received = []
+
+    def deliver(self, channel_index, element, via=None):
+        self.received.append(element)
+        if via is not None:
+            via.return_credit()
+
+    def output_unblocked(self):
+        pass
+
+
+def make_hooked_channel(kernel, *specs, capacity=None):
+    task = FakeTask()
+    channel = PhysicalChannel(
+        kernel,
+        ChannelSpec(latency=1e-4, capacity=capacity),
+        task,
+        receiver_channel_index=0,
+        rng=SimRandom(0, "chaos-test"),
+    )
+    log = []
+    hook = ChannelFaultHook(kernel, lambda kind, detail: log.append((kind, detail)))
+    for spec in specs:
+        hook.add(spec)
+    channel.fault_hook = hook
+    return task, channel, log
+
+
+def values(task):
+    return [e.value for e in task.received if isinstance(e, Record)]
+
+
+def test_drop_discards_records_and_returns_credit():
+    kernel = Kernel()
+    task, channel, log = make_hooked_channel(
+        kernel, FaultSpec(kind=DROP, target="x", at=0.0, count=1), capacity=2
+    )
+    for v in [1, 2, 3]:
+        channel.send(Record(value=v))
+    kernel.run()
+    assert values(task) == [2, 3]  # first record eaten
+    assert channel.credits == 2  # dropped record's credit came back
+    assert log == [(DROP, "1")]
+
+
+def test_duplicate_delivers_copy_without_extra_credit():
+    kernel = Kernel()
+    task, channel, log = make_hooked_channel(
+        kernel, FaultSpec(kind=DUPLICATE, target="x", at=0.0, count=1), capacity=2
+    )
+    channel.send(Record(value="a"))
+    channel.send(Record(value="b"))
+    kernel.run()
+    assert sorted(values(task)) == ["a", "a", "b"]
+    assert channel.credits == 2
+
+
+def test_delay_postpones_but_fifo_clamp_preserves_order():
+    kernel = Kernel()
+    task, channel, _ = make_hooked_channel(
+        kernel, FaultSpec(kind=DELAY, target="x", at=0.0, count=1, magnitude=0.05)
+    )
+    channel.send(Record(value=1))  # delayed by 0.05
+    channel.send(Record(value=2))  # clamps behind the delayed one
+    kernel.run()
+    assert values(task) == [1, 2]
+    assert kernel.now() >= 0.05
+
+
+def test_reorder_swaps_adjacent_records_only():
+    kernel = Kernel()
+    task, channel, log = make_hooked_channel(
+        kernel, FaultSpec(kind=REORDER, target="x", at=0.0, count=1, magnitude=0.1)
+    )
+    for v in [1, 2, 3]:
+        channel.send(Record(value=v))
+    kernel.run()
+    assert values(task) == [2, 1, 3]
+    assert log and log[0][0] == REORDER
+
+
+def test_reorder_never_crosses_control_elements():
+    kernel = Kernel()
+    task, channel, _ = make_hooked_channel(
+        kernel, FaultSpec(kind=REORDER, target="x", at=0.0, count=1, magnitude=0.1)
+    )
+    channel.send(Record(value=1))  # held for a swap...
+    channel.send(Watermark(5.0))  # ...but a watermark forces the flush
+    channel.send(Record(value=2))
+    kernel.run()
+    records_and_marks = [
+        e.value if isinstance(e, Record) else "wm" for e in task.received
+    ]
+    assert records_and_marks == [1, "wm", 2]
+
+
+def test_reorder_hold_is_bounded():
+    kernel = Kernel()
+    task, channel, _ = make_hooked_channel(
+        kernel, FaultSpec(kind=REORDER, target="x", at=0.0, count=1, magnitude=0.02)
+    )
+    channel.send(Record(value="lonely"))  # nothing follows: timer must flush
+    kernel.run()
+    assert values(task) == ["lonely"]
+
+
+def test_barrier_loss_eats_one_barrier_and_nothing_else():
+    kernel = Kernel()
+    task, channel, log = make_hooked_channel(
+        kernel, FaultSpec(kind=BARRIER_LOSS, target="x", at=0.0), capacity=4
+    )
+    channel.send(Record(value=1))
+    channel.send(CheckpointBarrier(checkpoint_id=1, timestamp=0.0))
+    channel.send(Record(value=2))
+    channel.send(CheckpointBarrier(checkpoint_id=2, timestamp=0.0))
+    kernel.run()
+    barriers = [e.checkpoint_id for e in task.received if isinstance(e, CheckpointBarrier)]
+    assert values(task) == [1, 2]
+    assert barriers == [2]  # only the first barrier was lost
+    assert channel.credits == 4
+    assert log == [(BARRIER_LOSS, "checkpoint 1")]
+
+
+def test_fault_is_inert_before_its_trigger_time():
+    kernel = Kernel()
+    task, channel, log = make_hooked_channel(
+        kernel, FaultSpec(kind=DROP, target="x", at=10.0, count=1)
+    )
+    channel.send(Record(value=1))
+    kernel.run()
+    assert values(task) == [1]
+    assert not log
+
+
+def test_count_bounds_the_burst():
+    kernel = Kernel()
+    task, channel, _ = make_hooked_channel(
+        kernel, FaultSpec(kind=DROP, target="x", at=0.0, count=2)
+    )
+    for v in range(5):
+        channel.send(Record(value=v))
+    kernel.run()
+    assert values(task) == [2, 3, 4]
+
+
+def test_epoch_reset_voids_in_flight_elements():
+    """A connection reset (global recovery) discards scheduled deliveries;
+    post-reset traffic flows normally."""
+    kernel = Kernel()
+    task = FakeTask()
+    channel = PhysicalChannel(
+        kernel,
+        ChannelSpec(latency=1e-4, capacity=2),
+        task,
+        receiver_channel_index=0,
+        rng=SimRandom(0, "epoch-test"),
+    )
+    channel.send(Record(value="stale"))
+    channel.reset()
+    channel.send(Record(value="fresh"))
+    kernel.run()
+    assert values(task) == ["fresh"]
+    assert channel.credits == 2  # reset restored capacity; fresh credit returned

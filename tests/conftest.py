@@ -3,4 +3,17 @@
 import os
 import sys
 
+import pytest
+
 sys.path.insert(0, os.path.dirname(__file__))
+
+
+@pytest.fixture
+def chaos_seed() -> int:
+    """Base seed for chaos tests.
+
+    Defaults to 0 so every CI run explores the same schedules; set
+    ``REPRO_CHAOS_SEED`` to sweep a different slice of the schedule space
+    (a failure prints a seed-pinned reproducer either way).
+    """
+    return int(os.environ.get("REPRO_CHAOS_SEED", "0"))

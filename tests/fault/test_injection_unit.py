@@ -1,0 +1,102 @@
+"""FailureInjector unit tests: scheduling, detection, callback dispatch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.datastream import StreamExecutionEnvironment
+from repro.fault.injection import FailureInjector
+from repro.io.sinks import CollectSink
+from repro.io.sources import CollectionWorkload
+from repro.runtime.config import EngineConfig
+
+
+def build_engine(parallelism: int = 1):
+    env = StreamExecutionEnvironment(EngineConfig(seed=5), name="inj")
+    (
+        env.from_workload(CollectionWorkload(list(range(200)), rate=2000.0), name="src")
+        .map(lambda v: v + 1, name="bump", parallelism=parallelism)
+        .sink(CollectSink("out"), name="out")
+    )
+    return env.build()
+
+
+def test_kill_fires_at_scheduled_time_and_detection_after_delay():
+    engine = build_engine()
+    injector = FailureInjector(engine, detection_delay=0.01)
+    event = injector.schedule_kill("bump[0]", at=0.03)
+    detections = []
+    injector.on_detection(lambda e: detections.append((e, engine.kernel.now())))
+    engine.run(until=0.05)
+    assert engine.tasks["bump[0]"].dead
+    assert event.at == 0.03
+    assert event.detected_at == pytest.approx(0.04)
+    assert detections and detections[0][0] is event
+    assert detections[0][1] == pytest.approx(0.04)
+
+
+def test_detection_order_follows_kill_order_not_registration_order():
+    engine = build_engine(parallelism=2)
+    injector = FailureInjector(engine, detection_delay=0.005)
+    seen = []
+    injector.on_detection(lambda e: seen.append(e.task_name))
+    # Registered late-kill first: detections must still arrive in kill order.
+    injector.schedule_kill("bump[1]", at=0.04)
+    injector.schedule_kill("bump[0]", at=0.02)
+    engine.run(until=0.06)
+    assert seen == ["bump[0]", "bump[1]"]
+
+
+def test_schedule_node_failure_kills_every_subtask():
+    engine = build_engine(parallelism=2)
+    injector = FailureInjector(engine, detection_delay=0.005)
+    events = injector.schedule_node_failure("bump", at=0.02)
+    assert {e.task_name for e in events} == {"bump[0]", "bump[1]"}
+    engine.run(until=0.04)
+    assert engine.tasks["bump[0]"].dead
+    assert engine.tasks["bump[1]"].dead
+    assert all(e.detected_at == pytest.approx(0.025) for e in events)
+
+
+def test_each_callback_fires_exactly_once_per_event():
+    engine = build_engine(parallelism=2)
+    injector = FailureInjector(engine, detection_delay=0.005)
+    calls = []
+    injector.on_detection(lambda e: calls.append(("a", e.task_name)))
+    injector.on_detection(lambda e: calls.append(("b", e.task_name)))
+    injector.schedule_kill("bump[0]", at=0.01)
+    injector.schedule_kill("bump[1]", at=0.03)
+    engine.run(until=0.05)
+    assert sorted(calls) == [
+        ("a", "bump[0]"),
+        ("a", "bump[1]"),
+        ("b", "bump[0]"),
+        ("b", "bump[1]"),
+    ]
+
+
+def test_raising_callback_does_not_starve_later_callbacks():
+    """Regression: a recovery callback that raises must not prevent other
+    registered callbacks from observing the detection (the error is
+    re-raised once all have run)."""
+    engine = build_engine()
+    injector = FailureInjector(engine, detection_delay=0.005)
+    seen = []
+
+    def bad(_event):
+        raise RuntimeError("recovery exploded")
+
+    injector.on_detection(bad)
+    injector.on_detection(lambda e: seen.append(e.task_name))
+    injector.schedule_kill("bump[0]", at=0.01)
+    with pytest.raises(RuntimeError, match="recovery exploded"):
+        engine.run(until=0.05)
+    assert seen == ["bump[0]"]
+
+
+def test_detection_callbacks_list_is_typed_and_append_only():
+    engine = build_engine()
+    injector = FailureInjector(engine)
+    assert injector._detection_callbacks == []
+    injector.on_detection(lambda e: None)
+    assert len(injector._detection_callbacks) == 1
