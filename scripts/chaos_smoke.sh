@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# Chaos smoke sweep: the standard scenario grid under seeded fault
-# schedules, capped at ~30 seconds of wall clock. Any oracle violation
+# Chaos smoke sweep: the scenario grid under seeded fault schedules, run
+# twice — once with the fixed default-recovery policy, once supervised
+# (restart strategies + regional failover driven by the Supervisor) —
+# capped at ~30 seconds of wall clock per mode. Any oracle violation
 # prints a copy-pasteable minimal reproducer and fails the script.
-# Usage: scripts/chaos_smoke.sh [--seed N] [--schedules K]
+# Usage: scripts/chaos_smoke.sh [--seed N] [--schedules K] [--mode default|supervised|both]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 export PYTHONPATH="${PYTHONPATH:+$PYTHONPATH:}src"
 
-echo "== chaos smoke (budget 30s) =="
+echo "== chaos smoke (budget 30s per mode) =="
 python -m repro.chaos.smoke --budget 30 "$@"

@@ -17,6 +17,7 @@ from repro.chaos.oracles import (
     Oracle,
     OracleSuite,
     OracleViolation,
+    SupervisedOutcomeOracle,
     WatermarkMonotonicityOracle,
     standard_oracles,
 )
@@ -29,7 +30,9 @@ from repro.chaos.scenarios import (
     feedback_loop,
     forward_chain,
     keyed_shuffle,
+    parallel_slices,
     standard_scenarios,
+    supervised_scenarios,
 )
 from repro.chaos.schedule import (
     ALL_KINDS,
@@ -76,6 +79,7 @@ __all__ = [
     "STALL",
     "Scenario",
     "ScenarioRun",
+    "SupervisedOutcomeOracle",
     "TASK_KINDS",
     "WatermarkMonotonicityOracle",
     "broken_at_most_once",
@@ -87,7 +91,9 @@ __all__ = [
     "full_restart",
     "generate_schedule",
     "keyed_shuffle",
+    "parallel_slices",
     "schedule_from_faults",
     "standard_oracles",
     "standard_scenarios",
+    "supervised_scenarios",
 ]

@@ -35,9 +35,9 @@ from repro.chaos.schedule import (
 from repro.core.events import CheckpointBarrier, Record, StreamElement
 from repro.errors import RecoveryError
 from repro.fault.injection import FailureEvent, FailureInjector
-from repro.io.sinks import TransactionalSink
 from repro.runtime.config import GuaranteeLevel
 from repro.runtime.task import SourceTask
+from repro.supervision.supervisor import Supervisor, SupervisorConfig
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.channel import PhysicalChannel
@@ -141,36 +141,16 @@ def full_restart(engine: "Engine") -> None:
     checkpointed job that has no completed checkpoint yet. Transactional
     sinks discard uncommitted epochs, sources rewind to the beginning, so
     the replay is loss- and duplicate-free end to end."""
-    if engine.job_finished:
+    if engine.job_finished or engine.job_failed:
         return
-    engine.execution_epoch += 1
-    for sink in engine.sinks.values():
-        if isinstance(sink, TransactionalSink):
-            sink.on_recovery()
-    for task in engine._planned_tasks():
-        if not task.dead:
-            engine.kill_task(task.name)
-    for channel in engine.iter_physical_channels():
-        channel.reset()
-    for task in engine._planned_tasks():
-        if isinstance(task, SourceTask):
-            task.reincarnate()
-            task.restore_snapshot(None)
-        else:
-            backend = None
-            if not task.state_backend.survives_task_failure:
-                backend = engine.backend_factory_for(task)()
-            task.reincarnate(engine.new_operator_for(task), backend)
-    for task in engine._planned_tasks():
-        if isinstance(task, SourceTask):
-            task.restart_emission()
+    engine.restart_from_scratch()
 
 
 def default_recovery(level: GuaranteeLevel) -> Callable[["Engine", FailureEvent], None]:
     """The recovery policy a production job at ``level`` would run."""
 
     def recover(engine: "Engine", _event: FailureEvent) -> None:
-        if engine.job_finished:
+        if engine.job_finished or engine.job_failed:
             return
         if level is GuaranteeLevel.AT_MOST_ONCE:
             engine.recover_without_replay()
@@ -183,7 +163,13 @@ def default_recovery(level: GuaranteeLevel) -> Callable[["Engine", FailureEvent]
 
 
 class ChaosInjector:
-    """Applies one :class:`FaultSchedule` to one built engine."""
+    """Applies one :class:`FaultSchedule` to one built engine.
+
+    Two recovery wirings: the default installs a fixed per-guarantee policy
+    (``default_recovery``); ``supervised=True`` instead hands detections to
+    a :class:`~repro.supervision.supervisor.Supervisor`, which picks the
+    recovery scope itself (standby → region → global → job-failed) under a
+    restart strategy."""
 
     def __init__(
         self,
@@ -192,12 +178,19 @@ class ChaosInjector:
         guarantee: GuaranteeLevel = GuaranteeLevel.EXACTLY_ONCE,
         detection_delay: float = 0.005,
         recovery: Callable[["Engine", FailureEvent], None] | None = None,
+        supervised: bool = False,
+        supervisor_config: "SupervisorConfig | None" = None,
     ) -> None:
         self.engine = engine
         self.schedule = schedule
         self.injector = FailureInjector(engine, detection_delay=detection_delay)
-        self._recovery = recovery or default_recovery(guarantee)
-        self.injector.on_detection(lambda event: self._recovery(engine, event))
+        self.supervisor: Supervisor | None = None
+        self._recovery: Callable[["Engine", FailureEvent], None] | None = None
+        if supervised:
+            self.supervisor = Supervisor(engine, self.injector, supervisor_config)
+        else:
+            self._recovery = recovery or default_recovery(guarantee)
+            self.injector.on_detection(lambda event: self._recovery(engine, event))
         #: deterministic trace of what was actually injected, in kernel
         #: dispatch order — compared across runs by the determinism tests
         self.log: list[str] = []

@@ -243,6 +243,88 @@ class DeliveryOracle(Oracle):
         return violations
 
 
+class SupervisedOutcomeOracle(Oracle):
+    """End-to-end judge for supervised runs: the job must either *finish*
+    with its guarantee upheld and every incident resolved (MTTR recorded),
+    or *fail cleanly* under the restart policy — a recorded decision via
+    :meth:`Engine.fail_job`, never a silent wedge. Hangs are violations."""
+
+    name = "supervised-outcome"
+
+    def __init__(
+        self,
+        expected: Iterable[Any],
+        observed: Callable[[], Iterable[Any]],
+        expectation: GuaranteeExpectation,
+        identity: Callable[[Any], Any] = lambda v: repr(v),
+    ) -> None:
+        self._expected = list(expected)
+        self._observed = observed
+        self.expectation = expectation
+        self._identity = identity
+
+    def finish(self, engine: "Engine") -> list[OracleViolation]:
+        violations = []
+        recovery = engine.metrics.recovery
+        audit = audit_delivery(self._expected, self._observed(), identity=self._identity)
+        if engine.job_finished:
+            if audit.losses > 0 and not self.expectation.allow_losses:
+                violations.append(
+                    self._violation(
+                        engine,
+                        f"{audit.losses} losses under {self.expectation.level.value} "
+                        f"(observed {audit.observed}/{audit.expected})",
+                    )
+                )
+            if audit.duplicates > 0 and not self.expectation.allow_duplicates:
+                violations.append(
+                    self._violation(
+                        engine,
+                        f"{audit.duplicates} duplicates under "
+                        f"{self.expectation.level.value} "
+                        f"(observed {audit.observed}/{audit.expected})",
+                    )
+                )
+            for incident in recovery.incidents:
+                if incident.resumed_at is None:
+                    violations.append(
+                        self._violation(
+                            engine,
+                            f"incident for {incident.task_name!r} "
+                            f"(detected t={incident.detected_at:.6f}) never "
+                            f"resumed — no MTTR recorded",
+                        )
+                    )
+        elif engine.job_failed:
+            if recovery.job_failed_at is None or not engine.failure_reason:
+                violations.append(
+                    self._violation(
+                        engine,
+                        "job failed without a recorded policy decision "
+                        "(fail_job was bypassed)",
+                    )
+                )
+            # A clean failure may truncate output, but must never publish
+            # duplicates the guarantee forbids.
+            if audit.duplicates > 0 and not self.expectation.allow_duplicates:
+                violations.append(
+                    self._violation(
+                        engine,
+                        f"{audit.duplicates} duplicates published by a job "
+                        f"that failed under {self.expectation.level.value}",
+                    )
+                )
+        else:
+            violations.append(
+                self._violation(
+                    engine,
+                    "liveness: job neither finished nor failed cleanly "
+                    "before the horizon",
+                )
+            )
+        return violations
+
+
 def standard_oracles() -> list[Oracle]:
     """The always-on invariant set (delivery needs scenario wiring)."""
     return [
@@ -267,7 +349,7 @@ class OracleSuite:
             oracle.attach(engine)
 
         def probe() -> None:
-            if engine.job_finished:
+            if engine.job_finished or engine.job_failed:
                 if self._timer is not None:
                     self._timer.cancel()
                 return

@@ -20,17 +20,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from typing import Callable
+
 from repro.chaos.faults import ChaosInjector
 from repro.chaos.oracles import (
     DeliveryOracle,
     GuaranteeExpectation,
     OracleSuite,
     OracleViolation,
+    SupervisedOutcomeOracle,
     standard_oracles,
 )
 from repro.chaos.scenarios import FlagTriple, Scenario
 from repro.chaos.schedule import FaultSchedule, generate_schedule
 from repro.sim.random import SimRandom
+from repro.supervision.supervisor import SupervisorConfig
 
 #: the default sweep grid: chaining x batch x bucket
 DEFAULT_MATRIX: tuple[FlagTriple, ...] = tuple(
@@ -57,6 +61,11 @@ class ChaosReport:
     violations: list[OracleViolation]
     injection_log: list[str] = field(default_factory=list)
     finished: bool = False
+    job_failed: bool = False
+    failure_reason: str | None = None
+    #: ``engine.metrics.recovery.summary()`` of the run (supervised sweeps
+    #: read MTTR / restart counts / degraded time from here)
+    recovery: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -83,12 +92,19 @@ class ChaosRunner:
         schedules_per_config: int = 2,
         matrix: Sequence[FlagTriple] = DEFAULT_MATRIX,
         probe_interval: float = 0.01,
+        supervised: bool = False,
+        supervisor_config_factory: Callable[[], SupervisorConfig] | None = None,
     ) -> None:
         self.scenario = scenario
         self.seed = seed
         self.schedules_per_config = schedules_per_config
         self.matrix = tuple(matrix)
         self.probe_interval = probe_interval
+        #: recovery driven by a Supervisor instead of the fixed policy; the
+        #: delivery oracle is swapped for the supervised-outcome oracle
+        #: (finish with guarantee upheld, or fail cleanly — never hang)
+        self.supervised = supervised
+        self.supervisor_config_factory = supervisor_config_factory
 
     # ------------------------------------------------------------------
     def run_one(
@@ -114,16 +130,24 @@ class ChaosRunner:
         expectation = GuaranteeExpectation.for_run(
             self.scenario.expectation_level, schedule
         )
+        supervisor_config = (
+            self.supervisor_config_factory() if self.supervisor_config_factory else None
+        )
         injector = ChaosInjector(
             engine,
             schedule,
             guarantee=self.scenario.level,
             detection_delay=self.scenario.detection_delay,
+            supervised=self.supervised,
+            supervisor_config=supervisor_config,
         )
         injector.apply()
+        if self.supervised:
+            outcome = SupervisedOutcomeOracle(run.expected, run.observed, expectation)
+        else:
+            outcome = DeliveryOracle(run.expected, run.observed, expectation)
         suite = OracleSuite(
-            standard_oracles()
-            + [DeliveryOracle(run.expected, run.observed, expectation)],
+            standard_oracles() + [outcome],
             probe_interval=self.probe_interval,
         )
         suite.install(engine)
@@ -136,6 +160,9 @@ class ChaosRunner:
             violations=list(violations),
             injection_log=list(injector.log),
             finished=engine.job_finished,
+            job_failed=engine.job_failed,
+            failure_reason=engine.failure_reason,
+            recovery=engine.metrics.recovery.summary(),
         )
 
     def sweep(self) -> list[ChaosReport]:

@@ -280,6 +280,47 @@ def feedback_loop() -> Scenario:
 
 
 # ----------------------------------------------------------------------
+# shape 5: parallel slices — FORWARD pipeline at parallelism 2
+# ----------------------------------------------------------------------
+def parallel_slices(level: GuaranteeLevel = GuaranteeLevel.AT_LEAST_ONCE) -> Scenario:
+    """Two independent FORWARD slices end to end (parallelism 2).
+
+    The shape whose failover regions are strict subsets of the job: every
+    edge is FORWARD at matching parallelism, so slice 0 and slice 1 never
+    exchange records and a supervised run restores only the failed slice
+    (regional recovery), leaving the healthy one untouched. Each source
+    subtask emits the full workload, so the expectation is two copies of
+    the mapped values.
+    """
+    events = 160
+    values = list(range(events))
+    workload = CollectionWorkload(values, rate=2500.0)
+    expected = [v * 3 for v in values] * 2  # one copy per slice
+
+    def build(config: EngineConfig) -> ScenarioRun:
+        sink, observed = _make_sink(level)
+        env = StreamExecutionEnvironment(config, name="chaos-parallel-slices")
+        (
+            env.from_workload(workload, name="src", parallelism=2)
+            .map(lambda v: v * 3, name="triple", parallelism=2)
+            .sink(sink, name="out", parallelism=2)
+        )
+        return ScenarioRun(env.build(), list(expected), observed)
+
+    kinds: tuple[str, ...] = (KILL, DELAY, STALL, BARRIER_LOSS)
+    if level is GuaranteeLevel.AT_LEAST_ONCE:
+        kinds = (KILL, DUPLICATE, DELAY, STALL, BARRIER_LOSS)
+    elif level is GuaranteeLevel.AT_MOST_ONCE:
+        kinds = (KILL, DROP, DELAY, STALL)
+    return Scenario(
+        name=f"parallel-slices/{level.value}",
+        level=level,
+        build=build,
+        palette=PaletteConfig(kinds=kinds, window=0.12, max_magnitude=0.03),
+    )
+
+
+# ----------------------------------------------------------------------
 def broken_at_most_once() -> Scenario:
     """Deliberately mis-deployed job: a plain (at-most-once) sink with no
     checkpoints, but the operator *claims* exactly-once. Any kill loses the
@@ -303,3 +344,11 @@ def standard_scenarios() -> list[Scenario]:
         fan_in_join(GuaranteeLevel.EXACTLY_ONCE),
         feedback_loop(),
     ]
+
+
+def supervised_scenarios() -> list[Scenario]:
+    """The grid for supervised-mode sweeps: the standard shapes (where the
+    supervisor must match the fixed per-guarantee policy end to end) plus
+    the parallel-slices shape whose failover regions make regional recovery
+    observable."""
+    return standard_scenarios() + [parallel_slices(GuaranteeLevel.AT_LEAST_ONCE)]

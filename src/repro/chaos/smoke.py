@@ -14,7 +14,7 @@ import sys
 import time
 
 from repro.chaos.runner import ChaosRunner, flags_key
-from repro.chaos.scenarios import FlagTriple, standard_scenarios
+from repro.chaos.scenarios import FlagTriple, standard_scenarios, supervised_scenarios
 
 #: smoke matrix: the two extreme dispatch configurations — everything off,
 #: everything on — which between them cover both delivery code paths
@@ -39,37 +39,60 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--schedules", type=int, default=1, help="fault schedules per grid cell"
     )
+    parser.add_argument(
+        "--mode",
+        choices=("default", "supervised", "both"),
+        default="both",
+        help="recovery wiring: fixed per-guarantee policy, a Supervisor, or both",
+    )
     args = parser.parse_args(argv)
 
+    modes = ("default", "supervised") if args.mode == "both" else (args.mode,)
     started = time.monotonic()
     failures = 0
     cells = 0
-    for scenario in standard_scenarios():
-        runner = ChaosRunner(
-            scenario,
-            seed=args.seed,
-            schedules_per_config=args.schedules,
-            matrix=SMOKE_MATRIX,
-        )
-        for flags in runner.matrix:
-            for index in range(args.schedules):
-                if time.monotonic() - started > args.budget:
-                    print(
-                        f"budget exhausted after {cells} cells "
-                        f"({time.monotonic() - started:.1f}s) -- stopping early"
+    for mode in modes:
+        supervised = mode == "supervised"
+        scenarios = supervised_scenarios() if supervised else standard_scenarios()
+        for scenario in scenarios:
+            runner = ChaosRunner(
+                scenario,
+                seed=args.seed,
+                schedules_per_config=args.schedules,
+                matrix=SMOKE_MATRIX,
+                supervised=supervised,
+            )
+            for flags in runner.matrix:
+                for index in range(args.schedules):
+                    if time.monotonic() - started > args.budget:
+                        print(
+                            f"budget exhausted after {cells} cells "
+                            f"({time.monotonic() - started:.1f}s) -- stopping early"
+                        )
+                        return 1 if failures else 0
+                    report = runner.run_one(flags, schedule_index=index)
+                    cells += 1
+                    status = "ok" if report.ok else "VIOLATION"
+                    outcome = (
+                        "finished"
+                        if report.finished
+                        else ("failed-clean" if report.job_failed else "incomplete")
                     )
-                    return 1 if failures else 0
-                report = runner.run_one(flags, schedule_index=index)
-                cells += 1
-                status = "ok" if report.ok else "VIOLATION"
-                print(
-                    f"{status:9s} {scenario.name:28s} {flags_key(flags):28s} "
-                    f"faults={len(report.schedule)} finished={report.finished}"
-                )
-                if not report.ok:
-                    failures += 1
-                    minimal = runner.shrink(report)
-                    print(runner.format_reproducer(minimal))
+                    line = (
+                        f"{status:9s} {mode:10s} {scenario.name:28s} "
+                        f"{flags_key(flags):28s} faults={len(report.schedule)} "
+                        f"{outcome}"
+                    )
+                    if supervised and report.recovery.get("incidents"):
+                        line += f" incidents={report.recovery['incidents']}"
+                        mttr = report.recovery.get("mean_mttr")
+                        if mttr is not None:
+                            line += f" mttr={mttr:.4f}"
+                    print(line)
+                    if not report.ok:
+                        failures += 1
+                        minimal = runner.shrink(report)
+                        print(runner.format_reproducer(minimal))
     elapsed = time.monotonic() - started
     print(f"{cells} cells, {failures} violations, {elapsed:.1f}s (seed={args.seed})")
     return 1 if failures else 0

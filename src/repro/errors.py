@@ -44,6 +44,17 @@ class RecoveryError(ReproError):
     """Raised when fault recovery cannot complete (no snapshot, no standby)."""
 
 
+class TransientFault(ReproError):
+    """A retryable external-system failure: timeout, throttle, leader
+    election. Callers are expected to retry with backoff; only
+    :class:`RetryExhausted` is terminal."""
+
+
+class RetryExhausted(TransientFault):
+    """Raised when a retry envelope gives up (attempts or timeout budget
+    spent) and graceful degradation is not enabled."""
+
+
 class CQLError(ReproError):
     """Base class for CQL front-end errors."""
 

@@ -18,6 +18,10 @@ class FailureEvent:
     task_name: str
     at: float
     detected_at: float | None = None
+    #: correlation id shared by the kills of one node failure — a machine
+    #: taking down N subtasks is one incident, not N, so a supervisor's
+    #: failure-rate accounting charges the restart policy once per group
+    group: str | None = None
 
 
 class FailureInjector:
@@ -48,9 +52,9 @@ class FailureInjector:
         if first_error is not None:
             raise first_error
 
-    def schedule_kill(self, task_name: str, at: float) -> FailureEvent:
+    def schedule_kill(self, task_name: str, at: float, group: str | None = None) -> FailureEvent:
         """Fail-stop ``task_name`` at virtual time ``at``; detection fires after the delay."""
-        event = FailureEvent(task_name=task_name, at=at)
+        event = FailureEvent(task_name=task_name, at=at, group=group)
         self.events.append(event)
 
         def kill() -> None:
@@ -66,7 +70,16 @@ class FailureInjector:
         return event
 
     def schedule_node_failure(self, node_name: str, at: float) -> list[FailureEvent]:
-        """Kill every subtask of a logical node (a machine hosting them)."""
+        """Kill every subtask of a logical node (a machine hosting them).
+        The events share one correlation group, so supervised recovery can
+        coalesce them into a single incident."""
+        group = f"node/{node_name}@{at:.9g}"
         return [
-            self.schedule_kill(task.name, at) for task in self.engine.tasks_of(node_name)
+            self.schedule_kill(task.name, at, group=group)
+            for task in self.engine.tasks_of(node_name)
         ]
+
+    def tasks_in_group(self, group: str) -> list[str]:
+        """Task names of every scheduled event in a correlation group, in
+        scheduling order (a supervisor recovers the whole set at once)."""
+        return [event.task_name for event in self.events if event.group == group]

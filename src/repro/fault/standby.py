@@ -53,9 +53,34 @@ class ActiveStandby:
         self._mirror: TaskSnapshot | None = None
 
     def arm(self) -> None:
-        """Start mirroring: retain deliveries on task death for the hot replica."""
-        self.task.ha_buffer = []
+        """Start mirroring: retain deliveries on task death for the hot
+        replica, and tap the task's kill path so the mirror's state is
+        captured at the instant of failure — whoever kills the task (a
+        failure injector, the engine, a chaos schedule), the replica holds
+        exactly what the primary held when it died."""
+        if self._armed:
+            return
+        task = self.task
+        task.ha_buffer = []
         self._armed = True
+        original_kill = task.kill
+
+        def kill_with_mirror() -> None:
+            if self._armed and not task.dead:
+                # The replica's state == primary's state at failure
+                # (deterministic mirrored execution): capture it before the
+                # kill wipes it.
+                self._mirror = task.take_snapshot(checkpoint_id=-1)
+            original_kill()
+            if self._armed and task.ha_buffer is None:
+                task.ha_buffer = []  # keep retaining during switchover
+
+        task.kill = kill_with_mirror  # type: ignore[method-assign]
+
+    @property
+    def armed(self) -> bool:
+        """True once :meth:`arm` ran (a supervisor checks before promoting)."""
+        return self._armed
 
     def resource_multiplier(self) -> float:
         """Active standby runs two instances: 2x resource-seconds."""
@@ -67,12 +92,28 @@ class ActiveStandby:
         if not self._armed:
             raise RecoveryError("active standby not armed before failure")
         task = self.task
-        # The replica's state == primary's state at failure (deterministic
-        # mirrored execution): capture it before the kill wipes it.
-        self._mirror = task.take_snapshot(checkpoint_id=-1)
         failed_at = self.engine.kernel.now()
-        task.kill()
-        task.ha_buffer = []  # retain deliveries during switchover
+        task.kill()  # the arm() tap captures the mirror
+        return self._promote_after_switchover(failed_at)
+
+    def promote(self) -> FailoverReport:
+        """Bring the replica online for an *already dead* primary.
+
+        The supervised-recovery path: the kill came from elsewhere (a
+        failure injector) and the :meth:`arm` tap captured the mirror at the
+        moment of death; promotion costs only the switchover delay — no
+        checkpoint restore, no source rewind."""
+        if not self._armed:
+            raise RecoveryError("active standby not armed before failure")
+        task = self.task
+        if not task.dead:
+            raise RecoveryError(f"task {task.name!r} is alive; nothing to promote")
+        if self._mirror is None:
+            raise RecoveryError("no mirror captured at failure (armed after the kill?)")
+        return self._promote_after_switchover(self.engine.kernel.now())
+
+    def _promote_after_switchover(self, failed_at: float) -> FailoverReport:
+        task = self.task
         report = FailoverReport(
             task_name=task.name,
             failed_at=failed_at,
@@ -87,7 +128,9 @@ class ActiveStandby:
                 backend = self.engine.backend_factory_for(task)()
             task.reincarnate(self.engine.new_operator_for(task), backend)
             task.restore_snapshot(self._mirror)
-            buffered, task.ha_buffer = task.ha_buffer, None
+            # Drain deliveries retained during the switchover; stay armed
+            # (the replica keeps mirroring for the next failure).
+            buffered, task.ha_buffer = task.ha_buffer, []
             for item in buffered or []:
                 task.enqueue_local(item.element, item.channel_index)
 

@@ -188,6 +188,17 @@ class TransactionalSink(Sink):
         self.committed: list[SinkResult] = []
         self._open_epoch = _Epoch(checkpoint_id=0)
         self._pending: dict[int, _Epoch] = {}
+        #: optional transient-failure injector for the commit (second) phase:
+        #: ``commit_fault_hook(checkpoint_id)`` may raise
+        #: :class:`~repro.errors.TransientFault`, in which case the epochs
+        #: stay pending (graceful degradation — a later successful commit
+        #: publishes them). The engine retries per :attr:`retry_policy`.
+        self.commit_fault_hook: Any = None
+        #: retry policy the engine's commit driver consults on transient
+        #: commit failures (duck-typed: needs ``delay_for(attempt)``)
+        self.retry_policy: Any = None
+        self.commit_attempts = 0
+        self.commit_failures = 0
 
     def write(self, record: Record, ctx: OperatorContext) -> None:
         self._open_epoch.buffered.append(
@@ -202,13 +213,32 @@ class TransactionalSink(Sink):
         )
 
     def on_checkpoint(self, checkpoint_id: int) -> None:
-        """Seal the open epoch under this checkpoint id (pre-commit)."""
+        """Seal the open epoch under this checkpoint id (pre-commit).
+
+        A sink shared by several subtasks is sealed once per writer as each
+        barrier arrives; the batches merge under the same checkpoint id
+        (overwriting would silently drop the earlier writers' results)."""
         sealed = self._open_epoch
-        self._pending[checkpoint_id] = sealed
+        existing = self._pending.get(checkpoint_id)
+        if existing is not None:
+            existing.buffered.extend(sealed.buffered)
+        else:
+            self._pending[checkpoint_id] = sealed
         self._open_epoch = _Epoch(checkpoint_id=checkpoint_id)
 
     def on_checkpoint_complete(self, checkpoint_id: int) -> None:
-        """Second phase: publish every sealed epoch up to this checkpoint."""
+        """Second phase: publish every sealed epoch up to this checkpoint.
+
+        May raise :class:`~repro.errors.TransientFault` (via
+        :attr:`commit_fault_hook`) *before* publishing anything — the commit
+        is atomic: it either publishes all eligible epochs or none."""
+        self.commit_attempts += 1
+        if self.commit_fault_hook is not None:
+            try:
+                self.commit_fault_hook(checkpoint_id)
+            except BaseException:
+                self.commit_failures += 1
+                raise
         for cid in sorted(list(self._pending.keys())):
             if cid <= checkpoint_id:
                 self.committed.extend(self._pending.pop(cid).buffered)

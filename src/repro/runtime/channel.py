@@ -152,18 +152,25 @@ class PhysicalChannel:
         self._kernel.call_at(arrival, deliver)
 
     def reset(self) -> None:
-        """Tear the connection down and back up (global recovery).
+        """Tear the connection down and back up (recovery).
 
         Everything in flight — scheduled batches, the sender backlog — is
         voided, credits return to full capacity, and the FIFO clock rewinds
         so the first post-recovery send is not held behind voided arrivals.
+        A sender that is still alive (partial recovery resets only the
+        failed region's links) is woken: it may have been blocked on the
+        backlog this reset just voided.
         """
+        had_backlog = bool(self._backlog)
         self.epoch += 1
         self._backlog.clear()
         self.credits = self.spec.capacity
         self._open_batch = None
         self._open_batch_arrival = -1.0
         self._last_delivery = 0.0
+        sender = self.sender
+        if had_backlog and sender is not None and not sender.dead and not sender.finished:
+            sender.output_unblocked()
 
     # ------------------------------------------------------------------
     def return_credit(self) -> None:

@@ -11,12 +11,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.core.events import CheckpointBarrier, StreamElement
+from repro.core.events import MAX_TIMESTAMP, CheckpointBarrier, EndOfStream, StreamElement, Watermark
 from repro.core.graph import LogicalNode, Partitioning, StreamGraph
 from repro.core.operators.base import Operator
 from repro.core.operators.basic import SinkOperator
 from repro.core.operators.chain import ChainedOperator
-from repro.errors import CheckpointError, GraphError, RecoveryError, RuntimeStateError
+from repro.errors import (
+    CheckpointError,
+    GraphError,
+    RecoveryError,
+    RuntimeStateError,
+    TransientFault,
+)
 from repro.io.sinks import TransactionalSink
 from repro.progress.watermarks import NoWatermarks, WatermarkStrategy
 from repro.runtime.channel import OutputGate, PhysicalChannel
@@ -69,6 +75,15 @@ class JobResult:
     def finished(self) -> bool:
         return self._engine.job_finished
 
+    @property
+    def failed(self) -> bool:
+        """True when a restart policy gave up and failed the job cleanly."""
+        return self._engine.job_failed
+
+    @property
+    def failure_reason(self) -> str | None:
+        return self._engine.failure_reason
+
     def side_output(self, task_prefix: str, tag: str) -> list[StreamElement]:
         """Side-output elements for (task prefix, tag)."""
         out = []
@@ -98,10 +113,21 @@ class Engine:
         self._coordinator_timer: PeriodicTimer | None = None
         self._sampler_timer: PeriodicTimer | None = None
         self.job_finished = False
+        #: terminal *clean* failure: a restart policy gave up and the job
+        #: was torn down deliberately (distinct from a hang or a crash)
+        self.job_failed = False
+        self.failure_reason: str | None = None
         self._started = False
         self._expected_snapshot_count = 0
         self._restore_in_flight = False
         self._restore_resume_at = 0.0
+        #: task name → (token, resume_at) for an in-flight *regional*
+        #: restore; a broader restore clears the map, aborting the pending
+        #: per-region completion callbacks (their token no longer matches)
+        self._region_restores: dict[str, tuple[object, float]] = {}
+        #: task name → sinks its operator (chain) writes; regional recovery
+        #: needs to know which sinks a failover region owns exclusively
+        self._task_sinks: dict[str, list[Any]] = {}
         #: bumped by every global restore; a checkpoint whose persistence is
         #: still in flight when the epoch changes is discarded (the restart
         #: aborts all pending checkpoints, as real coordinators do)
@@ -152,6 +178,7 @@ class Engine:
                     sink = operator.sink
                     name = getattr(sink, "name", task.name)
                     self.sinks.setdefault(name, sink)
+                    self._task_sinks.setdefault(task.name, []).append(sink)
 
     @staticmethod
     def _flatten_operators(operator: Operator) -> list[Operator]:
@@ -390,7 +417,7 @@ class Engine:
     # ------------------------------------------------------------------
     def trigger_checkpoint(self) -> int | None:
         """Inject barriers at all sources; returns the checkpoint id."""
-        if self.job_finished:
+        if self.job_finished or self.job_failed:
             return None
         if self._pending_checkpoint is not None:
             # Previous checkpoint still in flight: skip this trigger (the
@@ -463,10 +490,40 @@ class Engine:
             self.completed_checkpoints.append(record.checkpoint_id)
             for sink in self.sinks.values():
                 if isinstance(sink, TransactionalSink):
-                    sink.on_checkpoint_complete(record.checkpoint_id)
+                    self._commit_sink(sink, record.checkpoint_id)
 
         self.kernel.call_after(persist_cost, complete)
         self._pending_checkpoint = None
+
+    def _commit_sink(self, sink: TransactionalSink, checkpoint_id: int, attempt: int = 1) -> None:
+        """Publish a sink's sealed epochs, retrying transient commit faults.
+
+        The retry policy comes from ``sink.retry_policy`` (None → no retry).
+        When retries run out the sink is left *degraded*: its epochs stay
+        pending — graceful degradation, not data loss — and the next
+        successful commit publishes them (``on_checkpoint_complete``
+        publishes every sealed epoch up to the completed id). The degraded
+        window is recorded in :class:`~repro.runtime.metrics.RecoveryMetrics`.
+        """
+        epoch = self.execution_epoch
+        component = f"sink/{sink.name}"
+        try:
+            sink.on_checkpoint_complete(checkpoint_id)
+        except TransientFault:
+            self.metrics.recovery.begin_degraded(component, self.kernel.now())
+            policy = getattr(sink, "retry_policy", None)
+            delay = policy.delay_for(attempt) if policy is not None else None
+            if delay is None:
+                return  # degraded until a later checkpoint commits
+
+            def retry() -> None:
+                if epoch != self.execution_epoch:
+                    return  # a restore superseded this execution
+                self._commit_sink(sink, checkpoint_id, attempt + 1)
+
+            self.kernel.call_after(delay, retry)
+            return
+        self.metrics.recovery.end_degraded(component, self.kernel.now())
 
     def latest_checkpoint(self) -> CheckpointRecord | None:
         """The most recent completed checkpoint record, if any."""
@@ -531,6 +588,10 @@ class Engine:
                 "job already finished: its results are committed; recovering "
                 "now would re-run the pipeline and duplicate output"
             )
+        if self.job_failed:
+            raise RuntimeStateError(
+                f"job failed terminally ({self.failure_reason}); no further recovery"
+            )
         if self._restore_in_flight:
             # A concurrent failure detection while a restore is already
             # scheduled: coalesce — restarting the restore would race two
@@ -544,6 +605,9 @@ class Engine:
         if record is None or not record.complete:
             raise CheckpointError("no completed checkpoint to recover from")
         self.execution_epoch += 1
+        # A global restore supersedes any pending regional one: the regional
+        # completion callback's token no longer matches and it aborts.
+        self._region_restores.clear()
         for task in self.tasks.values():
             if not task.dead:
                 task.kill()
@@ -556,7 +620,14 @@ class Engine:
         resume_at = self.kernel.now() + restore_delay
         self._restore_in_flight = True
         self._restore_resume_at = resume_at
-        self.kernel.call_at(resume_at, lambda: self._do_restore(record))
+        epoch = self.execution_epoch
+
+        def do_restore() -> None:
+            if epoch != self.execution_epoch:
+                return  # superseded (e.g. the job was failed terminally)
+            self._do_restore(record)
+
+        self.kernel.call_at(resume_at, do_restore)
         return resume_at
 
     def _planned_tasks(self) -> list[Task]:
@@ -572,13 +643,18 @@ class Engine:
                     planned.append(task)
         return planned
 
-    def _do_restore(self, record: CheckpointRecord) -> None:
-        self._restore_in_flight = False
-        for sink in self.sinks.values():
-            if isinstance(sink, TransactionalSink):
-                sink.on_recovery()
-        for task in self._planned_tasks():
-            snapshot = record.snapshots.get(task.name)
+    def planned_tasks(self) -> list[Task]:
+        """Public view of :meth:`_planned_tasks` (region computation,
+        supervision, and other control planes walk the physical plan)."""
+        return self._planned_tasks()
+
+    def _restore_tasks(self, tasks: list[Task], record: CheckpointRecord | None) -> None:
+        """Reincarnate ``tasks`` and load their state from ``record`` (None →
+        restart from scratch: empty state, sources rewound to offset zero),
+        then restart emission on the sources among them. Shared by the
+        global, regional and scratch recovery paths."""
+        for task in tasks:
+            snapshot = record.snapshots.get(task.name) if record is not None else None
             if isinstance(task, SourceTask):
                 task.reincarnate()
                 task.restore_snapshot(snapshot)
@@ -588,16 +664,184 @@ class Engine:
                     backend = self.backend_factory_for(task)()
                 task.reincarnate(self.new_operator_for(task), backend)
                 task.restore_snapshot(snapshot)
-        for task in self._planned_tasks():
+        for task in tasks:
             if isinstance(task, SourceTask):
                 task.restart_emission()
 
-    def recover_without_replay(self) -> None:
-        """At-most-once recovery: dead tasks come back empty and sources
-        continue from their *current* position (no rewind)."""
+    def _do_restore(self, record: CheckpointRecord) -> None:
+        self._restore_in_flight = False
+        for sink in self.sinks.values():
+            if isinstance(sink, TransactionalSink):
+                sink.on_recovery()
+        self._restore_tasks(self._planned_tasks(), record)
+
+    def recover_region(self, task_names: list[str], checkpoint_id: int | None = None) -> float:
+        """Partial (failover-region) restart, Flink FLIP-1 style.
+
+        Restores *only* the named tasks — which must form a union of
+        pipelined-connected failover regions, so every channel adjacent to
+        the set is internal to it — rewinds only the region's sources, and
+        resets only the region's channels. State comes from the latest (or
+        the given) completed *global* checkpoint; because a region is closed
+        under data dependencies, its slice of the snapshot is a consistent
+        cut on its own. Returns the virtual time processing resumes.
+
+        Raises :class:`RecoveryError` when a transactional sink written
+        inside the region is shared with tasks outside it (its uncommitted
+        epochs cannot be partially discarded — escalate to global), and
+        :class:`CheckpointError` when no completed checkpoint exists.
+        """
+        if self.job_finished or self.job_failed:
+            raise RuntimeStateError("job is finished or failed; no regional recovery")
+        if self._restore_in_flight:
+            # A global restore is already pending: it will cover the region.
+            return self._restore_resume_at
+        region = []
+        for name in task_names:
+            task = self.tasks.get(name)
+            if task is None:
+                raise RecoveryError(f"unknown task {name!r} in failover region")
+            region.append(task)
+        region_names = set(task_names)
+        pending = [self._region_restores.get(name) for name in task_names]
+        live = [entry for entry in pending if entry is not None]
+        if live:
+            # Coalesce with the restore already in flight for this region.
+            return max(resume_at for _token, resume_at in live)
+        record = (
+            self.checkpoints.get(checkpoint_id)
+            if checkpoint_id is not None
+            else self.latest_checkpoint()
+        )
+        if record is None or not record.complete:
+            raise CheckpointError("no completed checkpoint to recover from")
+        region_sinks = {
+            id(sink): sink
+            for task in region
+            for sink in self._task_sinks.get(task.name, ())
+        }
+        for name, sinks in self._task_sinks.items():
+            if name in region_names:
+                continue
+            for sink in sinks:
+                if id(sink) in region_sinks and isinstance(sink, TransactionalSink):
+                    raise RecoveryError(
+                        f"transactional sink {sink.name!r} spans the region "
+                        "boundary; its uncommitted epochs cannot be discarded "
+                        "regionally — escalate to global recovery"
+                    )
+        # Any restart aborts in-flight checkpoint persistence (the snapshot
+        # being persisted no longer matches a running execution).
+        self.execution_epoch += 1
+        for task in region:
+            if not task.dead:
+                self.kill_task(task.name)
+        for channel in self.iter_physical_channels():
+            if channel.receiver.name in region_names or (
+                channel.sender is not None and channel.sender.name in region_names
+            ):
+                channel.reset()
+        region_bytes = sum(
+            snap.size_bytes()
+            for name, snap in record.snapshots.items()
+            if name in region_names
+        )
+        resume_at = self.kernel.now() + self.restore_latency(region_bytes)
+        token = object()
+        for name in region_names:
+            self._region_restores[name] = (token, resume_at)
+
+        def finish() -> None:
+            current = self._region_restores.get(next(iter(region_names)))
+            if current is None or current[0] is not token:
+                return  # a broader restore superseded this one
+            for name in region_names:
+                self._region_restores.pop(name, None)
+            for sink in region_sinks.values():
+                if isinstance(sink, TransactionalSink):
+                    sink.on_recovery()
+            self._restore_tasks(region, record)
+
+        self.kernel.call_at(resume_at, finish)
+        return resume_at
+
+    def restart_from_scratch(self) -> float:
+        """Restart the whole job from offset zero — the recovery of a
+        checkpointed job that has no completed checkpoint yet. Transactional
+        sinks discard uncommitted epochs, sources rewind to the beginning,
+        so the replay is loss- and duplicate-free end to end. Returns the
+        (current) virtual time processing resumes."""
+        if self.job_finished or self.job_failed:
+            raise RuntimeStateError("job is finished or failed; no restart")
+        self.execution_epoch += 1
+        self._region_restores.clear()
+        for sink in self.sinks.values():
+            if isinstance(sink, TransactionalSink):
+                sink.on_recovery()
         for task in self._planned_tasks():
             if not task.dead:
-                continue
+                self.kill_task(task.name)
+        for channel in self.iter_physical_channels():
+            channel.reset()
+        self._restore_tasks(self._planned_tasks(), None)
+        return self.kernel.now()
+
+    def fail_job(self, reason: str) -> None:
+        """Terminal, *clean* job failure: a restart policy gave up. Every
+        task stops, in-flight data is voided, services are cancelled, and
+        the engine refuses further recovery — but committed results stand
+        and the engine records why it died (no hang, no silent wedge)."""
+        if self.job_finished or self.job_failed:
+            return
+        self.job_failed = True
+        self.failure_reason = reason
+        # Invalidate pending restores and in-flight checkpoint persistence.
+        self.execution_epoch += 1
+        self._region_restores.clear()
+        self._restore_in_flight = False
+        if self._pending_checkpoint is not None:
+            self.checkpoints.pop(self._pending_checkpoint.checkpoint_id, None)
+            self._pending_checkpoint = None
+        for task in self._planned_tasks():
+            if not task.dead and not task.finished:
+                task.kill()
+        for channel in self.iter_physical_channels():
+            channel.reset()
+        self._cancel_services()
+        self.metrics.recovery.job_failed_at = self.kernel.now()
+        self.metrics.recovery.job_failure_reason = reason
+
+    def recover_without_replay(self) -> None:
+        """At-most-once recovery: dead tasks come back empty and sources
+        continue from their *current* position (no rewind).
+
+        Applies the same hygiene as the replaying paths: the restart opens a
+        new execution epoch (in-flight checkpoint persistence from the dead
+        execution must not register) and every channel touching a restarted
+        task is reset, so stale in-flight elements addressed to the dead
+        incarnation are voided — at-most-once tolerates the loss — instead
+        of being delivered to the fresh one. A task that already finished
+        its work before being killed stays finished: reincarnating it would
+        wedge the job waiting for an EndOfStream that never comes again.
+        """
+        dead = [t for t in self._planned_tasks() if t.dead and not t.finished]
+        if not dead:
+            return
+        dead_names = {task.name for task in dead}
+        self.execution_epoch += 1
+        for channel in self.iter_physical_channels():
+            sender = channel.sender
+            if channel.receiver.name in dead_names or (
+                sender is not None and sender.name in dead_names
+            ):
+                channel.reset()
+                if sender is not None and sender.finished and not sender.dead:
+                    # The reset voided this upstream's in-flight end-of-input
+                    # markers and it will never resend them — re-inject so
+                    # the reincarnated receiver can still drain and finish.
+                    channel.send(Watermark(MAX_TIMESTAMP))
+                    channel.send(EndOfStream(source_id=sender.name))
+        for task in dead:
             if isinstance(task, SourceTask):
                 task.reincarnate()
                 task._next_arrival = self.kernel.now()

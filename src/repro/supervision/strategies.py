@@ -1,0 +1,134 @@
+"""Restart strategies: when (and whether) to restart after a failure.
+
+Mirrors Flink's restart-strategy lattice (survey §3.2's "automatic
+recovery" axis): fixed delay, exponential backoff with jitter, and a
+failure-rate strategy that *fails the job* when restarts exceed N per
+sliding window — the policy that turns an infinite crash loop into a
+clean, diagnosable job failure.
+
+A strategy is stateful (it counts the failures it has been consulted
+about); :meth:`RestartStrategy.next_delay` returns the backoff before the
+next restart attempt, or ``None`` to give up. Jitter is drawn from a
+namespaced :class:`~repro.sim.random.SimRandom`, so supervised runs stay
+byte-identical for a given seed.
+"""
+
+from __future__ import annotations
+
+from repro.sim.random import SimRandom
+
+
+class RestartStrategy:
+    """Decide the delay before the next restart (``None`` = fail the job)."""
+
+    name = "restart-strategy"
+
+    def next_delay(self, now: float) -> float | None:
+        """Charge one failure at virtual time ``now``; return the backoff
+        before restarting, or ``None`` when the policy is exhausted."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable policy summary (shows up in job-failure reasons)."""
+        return self.name
+
+
+class FixedDelayRestart(RestartStrategy):
+    """Restart after a constant delay, at most ``max_restarts`` times
+    (``None`` = unbounded — the default, like Flink's fixed-delay)."""
+
+    name = "fixed-delay"
+
+    def __init__(self, delay: float = 2e-3, max_restarts: int | None = None) -> None:
+        self.delay = delay
+        self.max_restarts = max_restarts
+        self.attempts = 0
+
+    def next_delay(self, now: float) -> float | None:
+        self.attempts += 1
+        if self.max_restarts is not None and self.attempts > self.max_restarts:
+            return None
+        return self.delay
+
+    def describe(self) -> str:
+        bound = "unbounded" if self.max_restarts is None else f"max={self.max_restarts}"
+        return f"fixed-delay(delay={self.delay:g}, {bound})"
+
+
+class ExponentialBackoffRestart(RestartStrategy):
+    """Exponentially growing delay with deterministic jitter.
+
+    ``delay = min(max_delay, initial * multiplier^(attempt-1))`` scaled by a
+    uniform factor in ``[1-jitter, 1+jitter]`` drawn from the supplied
+    :class:`SimRandom` (or a fixed-seed fork), so two runs with the same
+    seed back off identically — chaos replays stay byte-identical.
+    """
+
+    name = "exponential-backoff"
+
+    def __init__(
+        self,
+        initial_delay: float = 1e-3,
+        multiplier: float = 2.0,
+        max_delay: float = 0.05,
+        jitter: float = 0.1,
+        max_restarts: int | None = None,
+        rng: SimRandom | None = None,
+    ) -> None:
+        self.initial_delay = initial_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.max_restarts = max_restarts
+        self.attempts = 0
+        self._rng = rng if rng is not None else SimRandom(0, "supervision/backoff")
+
+    def next_delay(self, now: float) -> float | None:
+        self.attempts += 1
+        if self.max_restarts is not None and self.attempts > self.max_restarts:
+            return None
+        delay = min(self.max_delay, self.initial_delay * self.multiplier ** (self.attempts - 1))
+        if self.jitter > 0.0:
+            delay *= 1.0 + self._rng.uniform(-self.jitter, self.jitter)
+        return delay
+
+    def describe(self) -> str:
+        return (
+            f"exponential-backoff(initial={self.initial_delay:g}, "
+            f"x{self.multiplier:g}, cap={self.max_delay:g}, jitter={self.jitter:g})"
+        )
+
+
+class FailureRateRestart(RestartStrategy):
+    """Restart (after ``delay``) while failures stay under ``max_failures``
+    per sliding ``window`` of virtual time; beyond that, fail the job —
+    a crash loop is a bug, not an outage to ride out."""
+
+    name = "failure-rate"
+
+    def __init__(
+        self, max_failures: int = 3, window: float = 1.0, delay: float = 2e-3
+    ) -> None:
+        self.max_failures = max_failures
+        self.window = window
+        self.delay = delay
+        self._failure_times: list[float] = []
+
+    def next_delay(self, now: float) -> float | None:
+        self._failure_times.append(now)
+        horizon = now - self.window
+        self._failure_times = [t for t in self._failure_times if t > horizon]
+        if len(self._failure_times) > self.max_failures:
+            return None
+        return self.delay
+
+    @property
+    def recent_failures(self) -> int:
+        """Failures currently inside the sliding window."""
+        return len(self._failure_times)
+
+    def describe(self) -> str:
+        return (
+            f"failure-rate(max={self.max_failures} per {self.window:g}s, "
+            f"delay={self.delay:g})"
+        )

@@ -94,6 +94,28 @@ def test_raising_callback_does_not_starve_later_callbacks():
     assert seen == ["bump[0]"]
 
 
+def test_node_failure_events_share_one_correlation_group():
+    engine = build_engine(parallelism=2)
+    injector = FailureInjector(engine, detection_delay=0.005)
+    events = injector.schedule_node_failure("bump", at=0.02)
+    groups = {e.group for e in events}
+    assert len(groups) == 1
+    (group,) = groups
+    assert injector.tasks_in_group(group) == ["bump[0]", "bump[1]"]
+    # An independently scheduled kill stays outside the group.
+    solo = injector.schedule_kill("src[0]", at=0.03)
+    assert solo.group is None
+    assert "src[0]" not in injector.tasks_in_group(group)
+
+
+def test_separate_node_failures_get_distinct_groups():
+    engine = build_engine(parallelism=2)
+    injector = FailureInjector(engine, detection_delay=0.005)
+    first = injector.schedule_node_failure("bump", at=0.02)
+    second = injector.schedule_node_failure("bump", at=0.04)
+    assert first[0].group != second[0].group
+
+
 def test_detection_callbacks_list_is_typed_and_append_only():
     engine = build_engine()
     injector = FailureInjector(engine)

@@ -68,6 +68,24 @@ class TestUpstreamBackup:
         assert backup.trimmed > EVENTS // 2
         assert backup.retained_count < EVENTS // 2
 
+    def test_retained_count_is_bounded_while_the_stream_flows(self):
+        # Sample the retention buffer mid-flight: it must hold roughly one
+        # retention horizon of records (rate x retention), never the whole
+        # stream — the ack-driven trim is what makes upstream backup cheap.
+        env, _sink = build()
+        engine = env.build()
+        retention = WINDOW + 0.05
+        backup = UpstreamBackup(engine, "kb[0]", "window-count[0]", retention=retention)
+        samples = []
+        for t in (0.10, 0.15, 0.20, 0.25):
+            engine.kernel.call_at(t, lambda: samples.append(backup.retained_count))
+        env.execute(until=30.0)
+        assert len(samples) == 4
+        assert all(count > 0 for count in samples)
+        # 4000 records/s into a 0.25 s horizon, with watermark-lag slack.
+        assert max(samples) <= 4000 * retention + 200
+        assert max(samples) < EVENTS
+
     def test_no_standby_resource_cost(self):
         env, _sink = build()
         engine = env.build()

@@ -1,0 +1,82 @@
+"""Restart strategies: delays, caps, jitter determinism, rate windows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.random import SimRandom
+from repro.supervision.strategies import (
+    ExponentialBackoffRestart,
+    FailureRateRestart,
+    FixedDelayRestart,
+)
+
+
+class TestFixedDelay:
+    def test_constant_delay(self):
+        strategy = FixedDelayRestart(delay=0.005)
+        assert strategy.next_delay(0.0) == 0.005
+        assert strategy.next_delay(1.0) == 0.005
+
+    def test_gives_up_past_max_restarts(self):
+        strategy = FixedDelayRestart(delay=0.005, max_restarts=2)
+        assert strategy.next_delay(0.0) == 0.005
+        assert strategy.next_delay(0.1) == 0.005
+        assert strategy.next_delay(0.2) is None
+
+    def test_describe_names_the_bound(self):
+        assert "unbounded" in FixedDelayRestart().describe()
+        assert "max=3" in FixedDelayRestart(max_restarts=3).describe()
+
+
+class TestExponentialBackoff:
+    def test_grows_then_caps(self):
+        strategy = ExponentialBackoffRestart(
+            initial_delay=1e-3, multiplier=2.0, max_delay=3e-3, jitter=0.0
+        )
+        assert strategy.next_delay(0.0) == pytest.approx(1e-3)
+        assert strategy.next_delay(0.1) == pytest.approx(2e-3)
+        assert strategy.next_delay(0.2) == pytest.approx(3e-3)  # capped
+        assert strategy.next_delay(0.3) == pytest.approx(3e-3)
+
+    def test_jitter_stays_within_bounds(self):
+        strategy = ExponentialBackoffRestart(
+            initial_delay=1e-3, multiplier=1.0, max_delay=1.0, jitter=0.25
+        )
+        for _ in range(50):
+            delay = strategy.next_delay(0.0)
+            assert 0.75e-3 <= delay <= 1.25e-3
+
+    def test_jitter_is_deterministic_per_seeded_rng(self):
+        a = ExponentialBackoffRestart(rng=SimRandom(7, "backoff"))
+        b = ExponentialBackoffRestart(rng=SimRandom(7, "backoff"))
+        assert [a.next_delay(0.0) for _ in range(8)] == [
+            b.next_delay(0.0) for _ in range(8)
+        ]
+
+    def test_gives_up_past_max_restarts(self):
+        strategy = ExponentialBackoffRestart(jitter=0.0, max_restarts=1)
+        assert strategy.next_delay(0.0) is not None
+        assert strategy.next_delay(0.1) is None
+
+
+class TestFailureRate:
+    def test_restarts_within_rate(self):
+        strategy = FailureRateRestart(max_failures=3, window=1.0, delay=2e-3)
+        for t in (0.0, 0.1, 0.2):
+            assert strategy.next_delay(t) == 2e-3
+        assert strategy.recent_failures == 3
+
+    def test_fails_job_when_rate_exceeded(self):
+        strategy = FailureRateRestart(max_failures=2, window=1.0)
+        assert strategy.next_delay(0.0) is not None
+        assert strategy.next_delay(0.1) is not None
+        assert strategy.next_delay(0.2) is None
+
+    def test_window_slides_old_failures_out(self):
+        strategy = FailureRateRestart(max_failures=2, window=0.5)
+        assert strategy.next_delay(0.0) is not None
+        assert strategy.next_delay(0.1) is not None
+        # 0.0 and 0.1 have left the window by t=0.9: rate is back under.
+        assert strategy.next_delay(0.9) is not None
+        assert strategy.recent_failures == 1
