@@ -18,7 +18,11 @@ Built-in oracles:
 * :class:`DeliveryOracle` — the end-to-end guarantee: the observed output
   multiset matches the expectation floor (losses / duplicates allowed only
   when the configured guarantee or the injected palette permits them), and
-  the job actually finished (liveness).
+  the job actually finished (liveness);
+* :class:`MetricInvariantOracle` — the metric registry itself is sound:
+  counters and histogram counts are monotone in kernel time, channels never
+  report more deliveries than sends, and (on conservative topologies under
+  a non-lossy palette) records are conserved source → sink.
 """
 
 from __future__ import annotations
@@ -26,7 +30,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterable
 
-from repro.chaos.schedule import DUPLICATING_KINDS, LOSSY_KINDS, FaultSchedule
+from repro.chaos.schedule import (
+    DROP,
+    DUPLICATE,
+    DUPLICATING_KINDS,
+    KILL,
+    LOSSY_KINDS,
+    FaultSchedule,
+)
 from repro.fault.guarantees import audit_delivery
 from repro.runtime.config import GuaranteeLevel
 from repro.sim.kernel import PeriodicTimer
@@ -320,6 +331,132 @@ class SupervisedOutcomeOracle(Oracle):
                     engine,
                     "liveness: job neither finished nor failed cleanly "
                     "before the horizon",
+                )
+            )
+        return violations
+
+
+#: fault kinds that legitimately break source→sink record conservation:
+#: kills void in-flight elements without counting them as dropped, drops
+#: lose records, duplicates mint extra ones
+_NON_CONSERVING_KINDS = frozenset({KILL, DROP, DUPLICATE})
+
+
+class MetricInvariantOracle(Oracle):
+    """The observability layer must itself be trustworthy under chaos.
+
+    Probes assert that every kernel-time instrument is *monotone*: task
+    counters and busy time never decrease (``TaskMetrics`` objects survive
+    reincarnation, so cumulative totals must only grow), channel
+    send/delivery counters only grow with ``delivered <= sent`` (resets
+    void in-flight elements but never un-count them), and registry
+    histogram counts only grow.
+
+    At finish, on a 1:1 topology (``conserves_records``) whose schedule
+    injected no kill/drop/duplicate, records must be conserved end to end:
+    ``sum(source records_out) == sum(sink records_in) + sum(dropped)``.
+    """
+
+    name = "metric-invariants"
+
+    #: cumulative TaskMetrics fields that must never decrease
+    _TASK_FIELDS = (
+        "records_in",
+        "records_out",
+        "watermarks_in",
+        "timers_fired",
+        "dropped",
+        "failures",
+        "busy_time",
+    )
+
+    def __init__(
+        self,
+        schedule: FaultSchedule | None = None,
+        conserves_records: bool = False,
+    ) -> None:
+        self._schedule = schedule
+        self._conserves = conserves_records
+        self._task_last: dict[tuple[str, str], float] = {}
+        self._channel_last: dict[tuple[int, str], int] = {}
+        self._hist_last: dict[str, int] = {}
+
+    # -- probes ---------------------------------------------------------
+    def probe(self, engine: "Engine") -> list[OracleViolation]:
+        violations = []
+        for name, task in engine.tasks.items():
+            for field_name in self._TASK_FIELDS:
+                value = getattr(task.metrics, field_name)
+                key = (name, field_name)
+                last = self._task_last.get(key)
+                if last is not None and value < last - 1e-12:
+                    violations.append(
+                        self._violation(
+                            engine,
+                            f"{name} {field_name} regressed {last} -> {value}",
+                        )
+                    )
+                self._task_last[key] = value
+        for channel in engine.iter_physical_channels():
+            label = f"{channel.sender.name if channel.sender else '?'}->{channel.receiver.name}"
+            if channel.delivered > channel.sent:
+                violations.append(
+                    self._violation(
+                        engine,
+                        f"{label} delivered {channel.delivered} > sent {channel.sent}",
+                    )
+                )
+            for field_name, value in (
+                ("sent", channel.sent),
+                ("delivered", channel.delivered),
+            ):
+                key = (id(channel), field_name)
+                last = self._channel_last.get(key)
+                if last is not None and value < last:
+                    violations.append(
+                        self._violation(
+                            engine,
+                            f"{label} {field_name} regressed {last} -> {value}",
+                        )
+                    )
+                self._channel_last[key] = value
+        obs = getattr(engine, "obs", None)
+        if obs is not None:
+            for path, histogram in obs.registry.histograms():
+                last = self._hist_last.get(path)
+                if last is not None and histogram.count < last:
+                    violations.append(
+                        self._violation(
+                            engine,
+                            f"histogram {path} count regressed {last} -> {histogram.count}",
+                        )
+                    )
+                self._hist_last[path] = histogram.count
+        return violations
+
+    # -- finish ---------------------------------------------------------
+    def finish(self, engine: "Engine") -> list[OracleViolation]:
+        violations = self.probe(engine)
+        if not self._conserves or not engine.job_finished:
+            return violations
+        if self._schedule is not None and (
+            self._schedule.kinds() & _NON_CONSERVING_KINDS
+        ):
+            return violations
+        emitted = dropped = 0
+        consumed = 0
+        for task in engine.planned_tasks():
+            dropped += task.metrics.dropped
+            if not task.input_channel_count:
+                emitted += task.metrics.records_out
+            elif not task.output_gates:
+                consumed += task.metrics.records_in
+        if emitted != consumed + dropped:
+            violations.append(
+                self._violation(
+                    engine,
+                    f"record conservation broken: sources emitted {emitted}, "
+                    f"sinks consumed {consumed} + {dropped} dropped",
                 )
             )
         return violations

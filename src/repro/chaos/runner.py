@@ -26,6 +26,7 @@ from repro.chaos.faults import ChaosInjector
 from repro.chaos.oracles import (
     DeliveryOracle,
     GuaranteeExpectation,
+    MetricInvariantOracle,
     OracleSuite,
     OracleViolation,
     SupervisedOutcomeOracle,
@@ -94,6 +95,7 @@ class ChaosRunner:
         probe_interval: float = 0.01,
         supervised: bool = False,
         supervisor_config_factory: Callable[[], SupervisorConfig] | None = None,
+        observability: bool = False,
     ) -> None:
         self.scenario = scenario
         self.seed = seed
@@ -105,6 +107,10 @@ class ChaosRunner:
         #: (finish with guarantee upheld, or fail cleanly — never hang)
         self.supervised = supervised
         self.supervisor_config_factory = supervisor_config_factory
+        #: run with latency markers and tracing switched on — the in-band
+        #: observability traffic must never change a verdict (the
+        #: metric-invariant oracle runs either way)
+        self.observability = observability
 
     # ------------------------------------------------------------------
     def run_one(
@@ -119,6 +125,9 @@ class ChaosRunner:
         seed; pass an explicit schedule to replay (or shrink) a prior run.
         """
         config = self.scenario.make_config(self.seed, flags)
+        if self.observability:
+            config.latency_marker_period = 0.01
+            config.trace_sample_rate = 0.05
         run = self.scenario.build(config)
         engine = run.engine
         if schedule is None:
@@ -147,7 +156,13 @@ class ChaosRunner:
         else:
             outcome = DeliveryOracle(run.expected, run.observed, expectation)
         suite = OracleSuite(
-            standard_oracles() + [outcome],
+            standard_oracles()
+            + [
+                MetricInvariantOracle(
+                    schedule, conserves_records=self.scenario.conserves_records
+                ),
+                outcome,
+            ],
             probe_interval=self.probe_interval,
         )
         suite.install(engine)

@@ -68,6 +68,11 @@ class Scenario:
     checkpoint_interval: float = 0.02
     detection_delay: float = 0.005
     config_overrides: dict[str, Any] = field(default_factory=dict)
+    #: True when the topology forwards every source record to exactly one
+    #: sink record (1:1 maps/filters-that-keep-all): the metric-invariant
+    #: oracle then checks source→sink record conservation on clean-palette
+    #: runs (feedback loops and expanding/contracting shapes opt out)
+    conserves_records: bool = False
 
     @property
     def expectation_level(self) -> GuaranteeLevel:
@@ -135,6 +140,7 @@ def forward_chain(level: GuaranteeLevel = GuaranteeLevel.EXACTLY_ONCE) -> Scenar
         level=level,
         build=build,
         palette=PaletteConfig(kinds=kinds, window=0.12, max_magnitude=0.03),
+        conserves_records=True,
     )
 
 
@@ -175,6 +181,7 @@ def keyed_shuffle(level: GuaranteeLevel = GuaranteeLevel.AT_LEAST_ONCE) -> Scena
         build=build,
         palette=PaletteConfig(kinds=kinds, window=0.12, max_magnitude=0.03),
         config_overrides={"flow_control": True},
+        conserves_records=True,
     )
 
 
@@ -209,6 +216,7 @@ def fan_in_join(level: GuaranteeLevel = GuaranteeLevel.EXACTLY_ONCE) -> Scenario
         level=level,
         build=build,
         palette=PaletteConfig(kinds=kinds, window=0.1, max_magnitude=0.03),
+        conserves_records=True,
     )
 
 
@@ -317,6 +325,7 @@ def parallel_slices(level: GuaranteeLevel = GuaranteeLevel.AT_LEAST_ONCE) -> Sce
         level=level,
         build=build,
         palette=PaletteConfig(kinds=kinds, window=0.12, max_magnitude=0.03),
+        conserves_records=True,
     )
 
 

@@ -45,6 +45,12 @@ def main(argv: list[str] | None = None) -> int:
         default="both",
         help="recovery wiring: fixed per-guarantee policy, a Supervisor, or both",
     )
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="run with latency markers + tracing enabled (in-band probes "
+        "must not change any verdict)",
+    )
     args = parser.parse_args(argv)
 
     modes = ("default", "supervised") if args.mode == "both" else (args.mode,)
@@ -61,6 +67,7 @@ def main(argv: list[str] | None = None) -> int:
                 schedules_per_config=args.schedules,
                 matrix=SMOKE_MATRIX,
                 supervised=supervised,
+                observability=args.obs,
             )
             for flags in runner.matrix:
                 for index in range(args.schedules):

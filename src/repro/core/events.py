@@ -48,6 +48,10 @@ class Record(StreamElement):
             emitted record (z-set semantics used by speculative processing).
         ingest_time: virtual time at which the element entered the pipeline;
             sinks use ``now - ingest_time`` as end-to-end latency.
+        trace: sampled :class:`~repro.obs.trace.TraceContext` propagated by
+            the observability layer (``None`` for unsampled records).
+            Excluded from equality/repr so delivery auditing and logs are
+            unaffected by tracing.
     """
 
     value: Any
@@ -55,6 +59,7 @@ class Record(StreamElement):
     key: Any = None
     sign: int = 1
     ingest_time: float | None = None
+    trace: Any = field(default=None, compare=False, repr=False)
 
     def with_value(self, value: Any) -> "Record":
         """Copy with a new value (time/key/sign preserved)."""
@@ -151,10 +156,17 @@ class EndOfStream(StreamElement):
 
 @dataclass(frozen=True)
 class LatencyMarker(StreamElement):
-    """Probe element for measuring channel/operator latency without data."""
+    """Probe element for measuring channel/operator latency without data.
+
+    Emitted by sources on a kernel-time period, intercepted by tasks before
+    the operator (never enters windows or state), and forwarded in band so
+    it is subject to exactly the queueing, alignment, and backpressure
+    stalls a record would be.
+    """
 
     emitted_at: float
     marker_id: int
+    source_id: str = ""
 
 
 def record(value: Any, event_time: float | None = None, key: Any = None) -> Record:

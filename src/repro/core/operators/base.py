@@ -118,6 +118,28 @@ class OperatorContext:
         the default is a no-op so stub contexts in tests stay cheap.
         """
 
+    # --- observability ----------------------------------------------------
+    def profile(self, label: str) -> Any:
+        """Open a profiling scope attributing :meth:`add_cost` charges to a
+        flame sub-path (see :mod:`repro.obs.profile`). The default returns
+        a no-op scope so operators can always write ``with ctx.profile(..)``."""
+        return _NULL_SCOPE
+
+
+class _NullScope:
+    """No-op context manager backing the default :meth:`OperatorContext.profile`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullScope":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+_NULL_SCOPE = _NullScope()
+
 
 class Operator:
     """Base class for all dataflow operators.

@@ -119,6 +119,10 @@ class _LinkContext(OperatorContext):
     def add_cost(self, seconds: float) -> None:
         self._parent.add_cost(seconds)
 
+    # --- observability ---------------------------------------------------
+    def profile(self, label: str) -> Any:
+        return self._parent.profile(label)
+
 
 class ChainedOperator(Operator):
     """Runs a pipeline of operators fused into one task.
@@ -144,6 +148,9 @@ class ChainedOperator(Operator):
         self._links = [_LinkContext(self, i) for i in range(len(self.operators))]
         self._length = len(self.operators)
         self._bound: OperatorContext | None = None
+        #: per-member records entered — published as registry gauges by the
+        #: observability layer (resets with the operator on reincarnation)
+        self.member_records_in = [0] * self._length
 
     # ------------------------------------------------------------------
     def _bind(self, ctx: OperatorContext) -> None:
@@ -160,10 +167,23 @@ class ChainedOperator(Operator):
         op = self.operators[index]
         link = self._links[index]
         if isinstance(element, Record):
+            self.member_records_in[index] += 1
             if index:
                 cost = self._extra_costs[index]
                 if cost:
                     ctx.add_cost(cost)
+            if element.trace is not None:
+                # Record a member sub-span under the task's active span so
+                # traces expose the per-operator breakdown inside the fused
+                # task (enter == exit: a fused hop has no channel latency).
+                tracer = getattr(ctx, "tracer", None)
+                if tracer is not None:
+                    tracer.record_closed(
+                        op.name,
+                        element.trace,
+                        getattr(ctx, "active_span_id", None),
+                        ctx.processing_time(),
+                    )
             # Mirror what the task does for the head: the member's keyed
             # state accesses must use the key of the record it is handling.
             ctx.current_key_value = element.key

@@ -31,8 +31,16 @@ class BackpressureMonitor:
     samples: list[PressureSample] = field(default_factory=list)
 
     def start(self) -> None:
-        """Begin periodic sampling."""
+        """Begin periodic sampling (and publish rollups into the metric
+        registry so backpressure shows up in engine snapshots)."""
         self._timer = PeriodicTimer(self.engine.kernel, self.interval, self._sample)
+        obs = getattr(self.engine, "obs", None)
+        if obs is not None:
+            scope = f"{obs.registry.job}/backpressure/0"
+            obs.registry.gauge(f"{scope}/samples", lambda: len(self.samples))
+            obs.registry.gauge(f"{scope}/peak_backlog", self.peak_backlog)
+            obs.registry.gauge(f"{scope}/source_paused_fraction", self.source_paused_fraction)
+            obs.registry.gauge(f"{scope}/blocked_fraction", self.blocked_fraction)
 
     def stop(self) -> None:
         """Cancel sampling."""

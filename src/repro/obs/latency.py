@@ -1,0 +1,74 @@
+"""Flink-style latency markers: in-band probes measuring end-to-end delay.
+
+Sources emit a :class:`~repro.core.events.LatencyMarker` every
+``latency_marker_period`` kernel seconds. Markers travel *in band*: they go
+through the same output buffers, credit accounting, and channel FIFOs as
+records, so they are never reordered past data and they absorb every stall
+a record would — alignment blocking, backpressure parking, batching delay.
+Tasks intercept markers before the operator (windows and state never see
+them), record ``now - emitted_at`` into a per-operator histogram, and
+forward them downstream; a terminal task (no output gates) also records the
+source→sink histogram. Markers are broadcast at fan-out like other control
+elements, so every parallel path is measured.
+
+All latencies are kernel-time floats, making the histograms — and therefore
+metric snapshots — byte-identical across same-seed runs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.obs.registry import Histogram, MetricRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.events import LatencyMarker
+
+
+def operator_of(task_name: str) -> str:
+    """Logical operator name of a subtask (``"map[1]"`` → ``"map"``)."""
+    return task_name.rsplit("[", 1)[0]
+
+
+class LatencyTracker:
+    """Publishes marker histograms into the job's metric registry."""
+
+    def __init__(self, registry: MetricRegistry) -> None:
+        self.registry = registry
+        #: (source operator, sink operator) → source→sink histogram
+        self._e2e: dict[tuple[str, str], Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def on_emitted(self, task_name: str, subtask: int) -> None:
+        """A source emitted one marker (drives the period property test)."""
+        self.registry.scope(operator_of(task_name), subtask).counter(
+            "latency_markers_emitted"
+        ).inc()
+
+    def on_marker(
+        self, task_name: str, subtask: int, marker: "LatencyMarker", now: float, terminal: bool
+    ) -> None:
+        """A task received one marker: per-operator histogram, plus the
+        source→sink histogram when the task is terminal (a sink)."""
+        latency = now - marker.emitted_at
+        scope = self.registry.scope(operator_of(task_name), subtask)
+        scope.histogram("latency_from_source").record(latency)
+        if terminal:
+            source_op = operator_of(marker.source_id)
+            sink_op = operator_of(task_name)
+            key = (source_op, sink_op)
+            histogram = self._e2e.get(key)
+            if histogram is None:
+                histogram = self.registry.histogram(
+                    f"{self.registry.job}/e2e/{source_op}->{sink_op}/latency"
+                )
+                self._e2e[key] = histogram
+            histogram.record(latency)
+
+    # ------------------------------------------------------------------
+    def e2e_histograms(self) -> dict[str, Histogram]:
+        """Source→sink histograms keyed ``"source->sink"`` (benchmarks)."""
+        return {f"{src}->{dst}": hist for (src, dst), hist in sorted(self._e2e.items())}
+
+    def __repr__(self) -> str:
+        return f"LatencyTracker(e2e_paths={len(self._e2e)})"

@@ -1,0 +1,245 @@
+"""Hierarchical kernel-time metric registry.
+
+One registry per job gathers every instrument the runtime publishes:
+counters (monotone), gauges (pull-based — a zero-cost closure evaluated at
+snapshot time), and reservoir histograms. Instruments are scoped
+``job/operator/subtask/name`` (non-task instruments use the same path shape
+with a component name in the operator slot, e.g. ``job/channels/...``).
+
+Everything is measured in *kernel time* and updated only from kernel events,
+so a snapshot is a pure function of (topology, seed, config): two same-seed
+runs serialize to byte-identical JSON. The histogram reservoir is therefore
+deterministic — no RNG — using stride doubling: keep every ``stride``-th
+observation, halving the kept set (and doubling the stride) when the
+reservoir fills. Quantiles over the kept set converge like systematic
+sampling while staying reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Iterator
+
+
+class Counter:
+    """Monotone integer instrument (records_in, markers emitted, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (counters only ever grow)."""
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time instrument.
+
+    Either holds a value set by :meth:`set`, or wraps a pull function that
+    is evaluated lazily at snapshot time — the idiom the runtime uses to
+    absorb existing ``TaskMetrics``/``RecoveryMetrics`` fields without
+    touching the hot path.
+    """
+
+    __slots__ = ("_fn", "_value")
+
+    def __init__(self, fn: Callable[[], Any] | None = None) -> None:
+        self._fn = fn
+        self._value: Any = 0
+
+    def set(self, value: Any) -> None:
+        """Store a pushed value (replaces any pull function)."""
+        self._fn = None
+        self._value = value
+
+    def read(self) -> Any:
+        """Current value: the pull function's result, else the set value."""
+        if self._fn is not None:
+            return self._fn()
+        return self._value
+
+
+class Histogram:
+    """Deterministic reservoir histogram over kernel-time measurements.
+
+    Stride-doubling reservoir: observation ``k`` (0-based) is kept iff
+    ``k % stride == 0``; when the kept set exceeds ``capacity`` every other
+    kept sample is discarded and the stride doubles. No randomness, so
+    snapshots are byte-identical across same-seed runs.
+    """
+
+    __slots__ = ("capacity", "count", "sum", "min", "max", "_stride", "_reservoir")
+
+    def __init__(self, capacity: int = 512) -> None:
+        self.capacity = capacity
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._stride = 1
+        self._reservoir: list[float] = []
+
+    def record(self, value: float) -> None:
+        """Observe one measurement (updates count/sum/min/max + reservoir)."""
+        index = self.count
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if index % self._stride == 0:
+            self._reservoir.append(value)
+            if len(self._reservoir) > self.capacity:
+                self._reservoir = self._reservoir[::2]
+                self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile over the kept reservoir (0 when empty)."""
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-friendly rollup used by :meth:`MetricRegistry.snapshot`."""
+        return {
+            "count": self.count,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricScope:
+    """A ``job/operator/subtask`` prefix bound to a registry."""
+
+    __slots__ = ("registry", "prefix")
+
+    def __init__(self, registry: "MetricRegistry", prefix: str) -> None:
+        self.registry = registry
+        self.prefix = prefix
+
+    def counter(self, name: str) -> Counter:
+        """Counter at ``prefix/name``."""
+        return self.registry.counter(f"{self.prefix}/{name}")
+
+    def gauge(self, name: str, fn: Callable[[], Any] | None = None) -> Gauge:
+        """Gauge at ``prefix/name`` (optionally pull-based via ``fn``)."""
+        return self.registry.gauge(f"{self.prefix}/{name}", fn)
+
+    def histogram(self, name: str, capacity: int = 512) -> Histogram:
+        """Histogram at ``prefix/name``."""
+        return self.registry.histogram(f"{self.prefix}/{name}", capacity)
+
+
+class MetricRegistry:
+    """All instruments of one job, addressable by hierarchical path."""
+
+    def __init__(self, job: str) -> None:
+        self.job = job
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def scope(self, operator: str, subtask: int = 0) -> MetricScope:
+        """The ``job/operator/subtask`` scope tasks publish under."""
+        return MetricScope(self, f"{self.job}/{operator}/{subtask}")
+
+    def counter(self, path: str) -> Counter:
+        """Get-or-create the counter at ``path`` (TypeError on kind clash)."""
+        instrument = self._instruments.get(path)
+        if instrument is None:
+            instrument = Counter()
+            self._instruments[path] = instrument
+        elif not isinstance(instrument, Counter):
+            raise TypeError(f"{path!r} already registered as {type(instrument).__name__}")
+        return instrument
+
+    def gauge(self, path: str, fn: Callable[[], Any] | None = None) -> Gauge:
+        """Get-or-create the gauge at ``path``; a non-None ``fn`` rebinds the
+        pull function (reincarnated components re-register safely)."""
+        instrument = self._instruments.get(path)
+        if instrument is None:
+            instrument = Gauge(fn)
+            self._instruments[path] = instrument
+        elif isinstance(instrument, Gauge):
+            if fn is not None:
+                instrument._fn = fn
+        else:
+            raise TypeError(f"{path!r} already registered as {type(instrument).__name__}")
+        return instrument
+
+    def histogram(self, path: str, capacity: int = 512) -> Histogram:
+        """Get-or-create the histogram at ``path`` (TypeError on kind clash)."""
+        instrument = self._instruments.get(path)
+        if instrument is None:
+            instrument = Histogram(capacity)
+            self._instruments[path] = instrument
+        elif not isinstance(instrument, Histogram):
+            raise TypeError(f"{path!r} already registered as {type(instrument).__name__}")
+        return instrument
+
+    # ------------------------------------------------------------------
+    def histograms(self) -> Iterator[tuple[str, Histogram]]:
+        """(path, histogram) pairs in sorted path order (oracle probes)."""
+        for path in sorted(self._instruments):
+            instrument = self._instruments[path]
+            if isinstance(instrument, Histogram):
+                yield path, instrument
+
+    def counters(self) -> Iterator[tuple[str, Counter]]:
+        """(path, counter) pairs in sorted path order."""
+        for path in sorted(self._instruments):
+            instrument = self._instruments[path]
+            if isinstance(instrument, Counter):
+                yield path, instrument
+
+    def find(self, fragment: str) -> dict[str, Any]:
+        """Snapshot of every instrument whose path contains ``fragment``."""
+        return {
+            path: value
+            for path, value in self.snapshot()["metrics"].items()
+            if fragment in path
+        }
+
+    # ------------------------------------------------------------------
+    def snapshot(self, now: float | None = None) -> dict[str, Any]:
+        """Point-in-time JSON-able view of every instrument.
+
+        Deterministic: paths are sorted, values contain only kernel-time
+        quantities (never wall clock), histograms roll up via
+        :meth:`Histogram.summary`.
+        """
+        metrics: dict[str, Any] = {}
+        for path in sorted(self._instruments):
+            instrument = self._instruments[path]
+            if isinstance(instrument, Counter):
+                metrics[path] = instrument.value
+            elif isinstance(instrument, Gauge):
+                metrics[path] = instrument.read()
+            else:
+                metrics[path] = instrument.summary()
+        out: dict[str, Any] = {"job": self.job, "metrics": metrics}
+        if now is not None:
+            out["now"] = now
+        return out
+
+    def to_json(self, now: float | None = None, indent: int | None = None) -> str:
+        """Canonical JSON serialization (sorted keys — byte-stable)."""
+        return json.dumps(self.snapshot(now), sort_keys=True, indent=indent)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __repr__(self) -> str:
+        return f"MetricRegistry({self.job!r}, instruments={len(self._instruments)})"

@@ -1,0 +1,169 @@
+"""Record-level tracing: sampled spans through chains, shuffles, recovery.
+
+A source stamps a sampled record with a :class:`TraceContext`; every task
+that processes the record opens a span (enter/exit in kernel time) and
+re-stamps the records it emits with a child context, so the trace follows
+the record through operator chains, shuffles, and — because sources re-draw
+samples after a rewind — across checkpoint restore. Spans live on the
+engine-side :class:`Tracer`, not on tasks, so they survive kills; each span
+carries the execution epoch it was recorded in, which is how a trace that
+straddles a regional recovery is told apart from a clean one.
+
+Sampling uses a namespaced :class:`~repro.sim.random.SimRandom` fork and
+span ids come from a plain counter, so two same-seed runs produce identical
+span trees (a tested invariant).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.sim.random import SimRandom
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Propagated with a record: the trace it belongs to and the span that
+    emitted it (the parent of the next span)."""
+
+    trace_id: int
+    span_id: int
+
+
+@dataclass
+class Span:
+    """One operator's handling of one traced record."""
+
+    span_id: int
+    trace_id: int
+    parent_id: int | None
+    operator: str
+    enter: float
+    exit: float
+    #: execution epoch the span was recorded in — spans with a higher epoch
+    #: than their parent crossed a recovery
+    epoch: int = 0
+    children: list["Span"] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able rendering including the nested children."""
+        return {
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "operator": self.operator,
+            "enter": self.enter,
+            "exit": self.exit,
+            "epoch": self.epoch,
+            "children": [child.as_dict() for child in self.children],
+        }
+
+
+class Tracer:
+    """Engine-side span store + deterministic sampler."""
+
+    def __init__(
+        self,
+        sample_rate: float,
+        rng: SimRandom,
+        epoch_fn: Callable[[], int] = lambda: 0,
+    ) -> None:
+        self.sample_rate = sample_rate
+        self._rng = rng
+        self._epoch_fn = epoch_fn
+        self._span_ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
+        self.spans: list[Span] = []
+
+    @property
+    def active(self) -> bool:
+        return self.sample_rate > 0.0
+
+    # ------------------------------------------------------------------
+    def sample(self) -> bool:
+        """Deterministic per-record sampling decision (draw order is the
+        source emission order, which is seed-stable)."""
+        if self.sample_rate >= 1.0:
+            return True
+        return self._rng.random() < self.sample_rate
+
+    def begin_root(self, operator: str, at: float) -> TraceContext:
+        """Open-and-close a source span; returns the context to stamp on
+        the emitted record."""
+        span = Span(
+            span_id=next(self._span_ids),
+            trace_id=next(self._trace_ids),
+            parent_id=None,
+            operator=operator,
+            enter=at,
+            exit=at,
+            epoch=self._epoch_fn(),
+        )
+        self.spans.append(span)
+        return TraceContext(span.trace_id, span.span_id)
+
+    def begin(self, operator: str, parent: TraceContext, enter: float) -> Span:
+        """Open a span under ``parent``; the caller closes it via
+        :meth:`finish` once the element's virtual cost is known."""
+        span = Span(
+            span_id=next(self._span_ids),
+            trace_id=parent.trace_id,
+            parent_id=parent.span_id,
+            operator=operator,
+            enter=enter,
+            exit=enter,
+            epoch=self._epoch_fn(),
+        )
+        self.spans.append(span)
+        return span
+
+    def finish(self, span: Span, exit_time: float) -> None:
+        """Close an open span at its virtual completion time."""
+        span.exit = exit_time
+
+    def record_closed(
+        self, operator: str, trace: TraceContext, parent_id: int | None, at: float
+    ) -> Span:
+        """Record an already-closed span (chain members: the fused hop has
+        no channel latency, so enter == exit at the task's handling time)."""
+        span = Span(
+            span_id=next(self._span_ids),
+            trace_id=trace.trace_id,
+            parent_id=parent_id,
+            operator=operator,
+            enter=at,
+            exit=at,
+            epoch=self._epoch_fn(),
+        )
+        self.spans.append(span)
+        return span
+
+    # ------------------------------------------------------------------
+    def trees(self) -> list[Span]:
+        """Root spans with ``children`` populated (ordered by span id)."""
+        by_id: dict[int, Span] = {}
+        roots: list[Span] = []
+        for span in sorted(self.spans, key=lambda s: s.span_id):
+            span.children = []
+            by_id[span.span_id] = span
+        for span in sorted(self.spans, key=lambda s: s.span_id):
+            parent = by_id.get(span.parent_id) if span.parent_id is not None else None
+            if parent is not None:
+                parent.children.append(span)
+            else:
+                roots.append(span)
+        return roots
+
+    def tree_dicts(self) -> list[dict[str, Any]]:
+        """JSON-able span forest (the byte-compared determinism artifact)."""
+        return [root.as_dict() for root in self.trees()]
+
+    def epochs_seen(self) -> set[int]:
+        """Execution epochs spans were recorded in (>1 ⇒ trace crossed a
+        recovery)."""
+        return {span.epoch for span in self.spans}
+
+    def __repr__(self) -> str:
+        return f"Tracer(rate={self.sample_rate}, spans={len(self.spans)})"

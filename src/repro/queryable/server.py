@@ -88,6 +88,21 @@ class QueryableStateService:
         return None
 
     # ------------------------------------------------------------------
+    def query_metrics(self, fragment: str | None = None) -> dict[str, Any]:
+        """Point-in-time metric snapshot served through the same external
+        façade as state queries — metrics are queryable like state (§4.2).
+        ``fragment`` filters metric paths by substring."""
+        snapshot = self.engine.metrics_snapshot()
+        if fragment is not None:
+            snapshot["metrics"] = {
+                path: value
+                for path, value in snapshot["metrics"].items()
+                if fragment in path
+            }
+        self.queries_served += 1
+        return snapshot
+
+    # ------------------------------------------------------------------
     def query_all(
         self, node_name: str, descriptor: StateDescriptor, consistency: str = "snapshot"
     ) -> dict[Any, Any]:

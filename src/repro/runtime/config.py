@@ -82,6 +82,17 @@ class EngineConfig:
     #: heap-free FIFO dispatch for events scheduled at exactly now();
     #: order-preserving, so safe to leave on
     same_time_bucket: bool = True
+    # --- observability (repro.obs) ----------------------------------------
+    #: kernel-time period at which sources emit in-band latency markers
+    #: (None = markers off); markers yield per-operator and source→sink
+    #: latency histograms in the metric registry
+    latency_marker_period: float | None = None
+    #: fraction of source records stamped with a TraceContext (0.0 = tracing
+    #: off); sampled deterministically from the engine seed
+    trace_sample_rate: float = 0.0
+    #: attribute the cost model's virtual CPU to flame paths per operator
+    #: and hook the kernel dispatch observer
+    profiling_enabled: bool = False
 
     def channel_for(self, spec: ChannelSpec | None) -> ChannelSpec:
         """Resolve an edge's channel spec against the defaults."""

@@ -24,6 +24,7 @@ from repro.errors import (
     TransientFault,
 )
 from repro.io.sinks import TransactionalSink
+from repro.obs import Observability
 from repro.progress.watermarks import NoWatermarks, WatermarkStrategy
 from repro.runtime.channel import OutputGate, PhysicalChannel
 from repro.runtime.config import CheckpointMode, EngineConfig
@@ -141,8 +142,21 @@ class Engine:
         self._task_backend_factories: dict[str, Callable[[], Any]] = {}
         #: chain member node_id → fused group (head first); heads map too
         self._chained_nodes: dict[int, list[LogicalNode]] = {}
+        #: kernel-time observability bundle: metric registry, latency
+        #: markers, tracing, profiling (created before _build so tasks and
+        #: channels register as they are wired)
+        self.obs = Observability(
+            graph.name,
+            self.config,
+            self.rng,
+            epoch_fn=lambda: self.execution_epoch,
+        )
+        self.obs.install_kernel(self.kernel)
         graph.validate()
         self._build()
+        for task in self._planned_tasks():
+            self.obs.attach_task(task)
+        self.obs.register_engine(self)
 
     # ------------------------------------------------------------------
     # physical planning
@@ -342,7 +356,7 @@ class Engine:
         """Create and register one physical link (also used by dynamic
         rewiring: rescaling and runtime-spawned operators)."""
         channel_index = receiver.register_input_channel(is_feedback=is_feedback)
-        return PhysicalChannel(
+        channel = PhysicalChannel(
             self.kernel,
             spec,
             receiver,
@@ -350,6 +364,8 @@ class Engine:
             self.rng.fork(f"ch/{sender.name}->{receiver.name}"),
             sender=sender,
         )
+        self.obs.register_channel(channel)
+        return channel
 
     # ------------------------------------------------------------------
     # execution
@@ -874,6 +890,16 @@ class Engine:
     def now(self) -> float:
         """Current virtual time."""
         return self.kernel.now()
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Deterministic point-in-time view of the metric registry (all
+        counters/gauges/histograms, kernel-time only — byte-identical
+        across same-seed runs)."""
+        return self.obs.registry.snapshot(self.kernel.now())
+
+    def metrics_json(self, indent: int | None = None) -> str:
+        """Canonical JSON serialization of :meth:`metrics_snapshot`."""
+        return self.obs.registry.to_json(self.kernel.now(), indent)
 
     def describe(self) -> str:
         """Human-readable physical plan: nodes, parallelism, edges, channels."""

@@ -20,7 +20,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any
 
 from repro.core.events import (
@@ -28,6 +28,7 @@ from repro.core.events import (
     CheckpointBarrier,
     EndOfStream,
     Heartbeat,
+    LatencyMarker,
     Punctuation,
     Record,
     StreamElement,
@@ -35,6 +36,8 @@ from repro.core.events import (
 )
 from repro.core.operators.base import Operator, OperatorContext
 from repro.errors import RuntimeStateError
+from repro.obs.profile import NULL_PROFILE_SCOPE, ProfileScope
+from repro.obs.trace import TraceContext
 from repro.progress.watermarks import WatermarkMerger, WatermarkStrategy
 from repro.runtime.channel import OutputGate
 from repro.runtime.metrics import TaskMetrics
@@ -42,6 +45,7 @@ from repro.sim.kernel import Kernel, PeriodicTimer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.io.sources import Workload
+    from repro.obs import Observability
     from repro.state.api import KeyedStateBackend
 
 
@@ -154,6 +158,29 @@ class TaskContext(OperatorContext):
         cost, self._extra_cost = self._extra_cost, 0.0
         return cost
 
+    # --- observability ----------------------------------------------------
+    def profile(self, label: str) -> Any:
+        """Open a :class:`~repro.obs.profile.ProfileScope` attributing
+        ``add_cost`` charges to a flame sub-path (no-op when profiling is
+        off)."""
+        profiler = self._task._profiler
+        if profiler is None:
+            return NULL_PROFILE_SCOPE
+        return ProfileScope(profiler, self._task.name, self, label)
+
+    @property
+    def tracer(self) -> Any:
+        """The engine tracer, or None when tracing is off (chain members
+        record sub-spans through this)."""
+        return self._task._tracer
+
+    @property
+    def active_span_id(self) -> int | None:
+        """Span id of the element currently being handled (parent link for
+        chain-member sub-spans)."""
+        span = self._task._active_span
+        return span.span_id if span is not None else None
+
 
 class Task:
     """One parallel subtask executing an operator instance."""
@@ -209,6 +236,14 @@ class Task:
         self.dead = False
         self.incarnation = 0
 
+        # observability (bound by Engine via attach_obs; the disabled path
+        # costs one `is None` test per feature)
+        self._obs: "Observability | None" = None
+        self._tracer: Any = None
+        self._profiler: Any = None
+        self._active_span: Any = None
+        self._trace_mark = 0
+
         # checkpoint alignment
         self._align_id: int | None = None
         self._align_seen: set[int] = set()
@@ -254,6 +289,14 @@ class Task:
                 self._flush_outputs()
         self._feedback_channels.discard(channel_index)
         self._eos_channels.add(channel_index)
+
+    def attach_obs(self, obs: "Observability") -> None:
+        """Bind the engine's observability bundle; tracer/profiler refs are
+        hoisted (None when the feature is off) so hot-path guards stay one
+        attribute test."""
+        self._obs = obs
+        self._tracer = obs.tracer if obs.tracer.active else None
+        self._profiler = obs.profiler if obs.profiler.enabled else None
 
     def start(self) -> None:
         """Record start time and open the operator."""
@@ -380,6 +423,9 @@ class Task:
                     owner.enqueue_local(element)
                     return 0.0
             self.metrics.records_in += 1
+            if element.trace is not None and self._tracer is not None:
+                self._active_span = self._tracer.begin(self.name, element.trace, self.kernel.now())
+                self._trace_mark = len(self._pending_output)
             self.ctx.current_key_value = element.key
             self.operator.process(element, self.ctx)
         elif isinstance(element, Watermark):
@@ -396,6 +442,14 @@ class Task:
             self._handle_barrier(item.channel_index, element)
         elif isinstance(element, EndOfStream):
             self._handle_eos(item.channel_index, element)
+        elif isinstance(element, LatencyMarker):
+            # Intercepted before the operator: markers never enter windows
+            # or state. Record the per-operator (and, at a sink, the
+            # source→sink) latency, then forward in band at zero cost.
+            if self._obs is not None:
+                self._obs.record_marker(self, element, self.kernel.now())
+            if self.output_gates:
+                self.collect_output(element)
         else:
             self.operator.on_element(element, self.ctx)
 
@@ -410,9 +464,33 @@ class Task:
         if isinstance(element, (Record, _ProcTimer)):
             cost += self.processing_cost
         cost += timers_fired * self.timer_cost
-        cost += reads * self.state_backend.read_latency
-        cost += writes * self.state_backend.write_latency
-        cost += self.ctx.drain_extra_cost()
+        state_cost = reads * self.state_backend.read_latency + writes * self.state_backend.write_latency
+        cost += state_cost
+        extra_cost = self.ctx.drain_extra_cost()
+        cost += extra_cost
+
+        span = self._active_span
+        if span is not None:
+            # Close the span at the element's virtual completion time and
+            # re-stamp the outputs it produced with the child context, so
+            # the trace follows the record through shuffles downstream.
+            self._active_span = None
+            self._tracer.finish(span, self.kernel.now() + cost)
+            child = TraceContext(span.trace_id, span.span_id)
+            pending = self._pending_output
+            for index in range(self._trace_mark, len(pending)):
+                out = pending[index]
+                if isinstance(out, Record):
+                    pending[index] = replace(out, trace=child)
+        profiler = self._profiler
+        if profiler is not None:
+            name = self.name
+            if isinstance(element, (Record, _ProcTimer)):
+                profiler.charge(f"{name};process", self.processing_cost)
+            if timers_fired:
+                profiler.charge(f"{name};timers", timers_fired * self.timer_cost)
+            profiler.charge(f"{name};state", state_cost)
+            profiler.charge(f"{name};extra", extra_cost)
         return cost
 
     def _handle_watermark(self, channel_index: int, watermark: Watermark) -> int:
@@ -675,7 +753,9 @@ class Task:
         self._pending_proc_timers.clear()
         self._proc_timer_registry.clear()
         self._output_blocked = False
+        self._active_span = None
         self.metrics.failures += 1
+        self.metrics.mark_down(self.kernel.now())
         if not self.state_backend.survives_task_failure:
             self.state_backend.clear_all()
 
@@ -711,6 +791,7 @@ class Task:
             self.state_backend = state_backend
         self.dead = False
         self.finished = False
+        self.metrics.mark_up(self.kernel.now())
         self._eos_channels.clear()
         self._merger = WatermarkMerger(0)
         old_slots = sorted(self._merger_slots)
@@ -776,6 +857,8 @@ class SourceTask(Task):
         self._last_watermark = float("-inf")
         self._periodic: PeriodicTimer | None = None
         self._hb_timer: PeriodicTimer | None = None
+        self._marker_timer: PeriodicTimer | None = None
+        self._marker_seq = itertools.count()
         self._max_event_time = float("-inf")
         self.paused = False
 
@@ -789,7 +872,28 @@ class SourceTask(Task):
             )
         if self.heartbeat_interval is not None:
             self._hb_timer = PeriodicTimer(self.kernel, self.heartbeat_interval, self._emit_heartbeat)
+        self._start_marker_timer()
         self._schedule_next()
+
+    def _start_marker_timer(self) -> None:
+        if self._obs is not None and self._obs.marker_period is not None:
+            self._marker_timer = PeriodicTimer(
+                self.kernel, self._obs.marker_period, self._emit_marker
+            )
+
+    def _emit_marker(self) -> None:
+        """Emit one in-band latency marker (goes through the same output
+        buffers and channels as records, so it measures real stalls)."""
+        if self.dead or self.finished:
+            return
+        marker = LatencyMarker(
+            emitted_at=self.kernel.now(),
+            marker_id=next(self._marker_seq),
+            source_id=self.name,
+        )
+        self._obs.marker_emitted(self)
+        self.collect_output(marker)
+        self._flush_outputs()
 
     def _schedule_next(self) -> None:
         if self.dead or self.finished or self.paused:
@@ -830,6 +934,9 @@ class SourceTask(Task):
             return
         now = self.kernel.now()
         record = Record(value=event.value, event_time=event.event_time, ingest_time=now)
+        tracer = self._tracer
+        if tracer is not None and tracer.sample():
+            record = replace(record, trace=tracer.begin_root(self.name, now))
         if event.event_time is not None:
             self._max_event_time = max(self._max_event_time, event.event_time)
         self.collect_output(record)
@@ -887,6 +994,8 @@ class SourceTask(Task):
             self._periodic.cancel()
         if self._hb_timer is not None:
             self._hb_timer.cancel()
+        if self._marker_timer is not None:
+            self._marker_timer.cancel()
 
     # ------------------------------------------------------------------
     def pause(self) -> None:
@@ -942,6 +1051,7 @@ class SourceTask(Task):
     def reincarnate(self, operator: Operator | None = None, state_backend: Any = None) -> None:
         self.dead = False
         self.finished = False
+        self.metrics.mark_up(self.kernel.now())
         self.strategy = self.strategy.fresh()
         if self.strategy.periodic_interval is not None:
             self._periodic = PeriodicTimer(
@@ -949,6 +1059,7 @@ class SourceTask(Task):
             )
         if self.heartbeat_interval is not None:
             self._hb_timer = PeriodicTimer(self.kernel, self.heartbeat_interval, self._emit_heartbeat)
+        self._start_marker_timer()
 
     def restart_emission(self) -> None:
         """Kick the emission loop after a restore."""

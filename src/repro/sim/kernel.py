@@ -74,6 +74,10 @@ class Kernel:
         self._running = False
         self._stopped = False
         self._dispatched = 0
+        #: optional observer invoked with the event time after every
+        #: dispatch (profiling); None on the production path — the cost is
+        #: one attribute test per event
+        self.dispatch_observer: Callable[[float], None] | None = None
 
     # ------------------------------------------------------------------
     # scheduling
@@ -153,6 +157,8 @@ class Kernel:
                     break
                 self.clock.advance_to(event.time)
                 self._dispatched += 1
+                if self.dispatch_observer is not None:
+                    self.dispatch_observer(event.time)
                 event.action()
             else:
                 if until is not None:

@@ -1,0 +1,139 @@
+"""Latency markers: in-band probes that measure, never perturb.
+
+Sources emit a :class:`~repro.core.events.LatencyMarker` every
+``latency_marker_period`` virtual seconds; markers ride the same channels
+as records (so they measure real queueing + processing delay) but are
+invisible to operators, windows, and state. The tracker turns arrivals
+into per-operator and source→sink histograms.
+"""
+
+import pytest
+
+from repro.core.datastream import StreamExecutionEnvironment
+from repro.io.sinks import CollectSink
+from repro.io.sources import SensorWorkload
+from repro.runtime.config import EngineConfig
+from repro.windows.assigners import TumblingEventTimeWindows
+
+COUNT = 200
+RATE = 2000.0  # -> 0.1 virtual seconds of source activity
+PERIOD = 0.005
+
+
+def build_env(marker_period, chaining=True, parallelism=1, seed=11, fan_out=False):
+    config = EngineConfig(
+        seed=seed,
+        chaining_enabled=chaining,
+        latency_marker_period=marker_period,
+    )
+    env = StreamExecutionEnvironment(config, name="lat")
+    sink = CollectSink("out")
+    stream = env.from_workload(
+        SensorWorkload(count=COUNT, rate=RATE, key_count=4, seed=seed), name="src"
+    ).map(lambda v: v["reading"], name="extract")
+    if fan_out:
+        stream = stream.key_by(lambda r: int(r * 10) % 4).aggregate(
+            create=lambda: 0.0,
+            add=lambda acc, r: acc + r,
+            name="agg",
+            parallelism=parallelism,
+        )
+    stream.sink(sink, name="out", parallelism=1)
+    return env, sink
+
+
+def run(marker_period, **kwargs):
+    env, sink = build_env(marker_period, **kwargs)
+    engine = env.build()
+    env.execute()
+    return engine, sink
+
+
+class TestMarkerFlow:
+    def test_emission_counter_matches_period(self):
+        engine, _sink = run(PERIOD)
+        snapshot = engine.metrics_snapshot()["metrics"]
+        emitted = sum(
+            value
+            for path, value in snapshot.items()
+            if path.endswith("/latency_markers_emitted")
+        )
+        # ~0.1s of source activity at one marker per 5ms.
+        expected = (COUNT / RATE) / PERIOD
+        assert expected * 0.5 <= emitted <= expected * 2.0
+
+    def test_per_operator_histograms_populate(self):
+        engine, _sink = run(PERIOD, chaining=False)
+        snapshot = engine.metrics_snapshot()["metrics"]
+        for operator in ("extract", "out"):
+            path = f"lat/{operator}/0/latency_from_source"
+            assert path in snapshot, sorted(snapshot)
+            assert snapshot[path]["count"] > 0
+            assert snapshot[path]["p99"] >= snapshot[path]["p50"] >= 0.0
+
+    def test_source_to_sink_histogram_non_empty_on_fastpath(self):
+        """The acceptance-gate topology: chained fast path, markers on."""
+        engine, _sink = run(PERIOD, chaining=True)
+        e2e = engine.obs.latency.e2e_histograms()
+        assert e2e, "no source->sink histogram materialised"
+        ((label, histogram),) = e2e.items()
+        assert label.startswith("src") and label.endswith("out")
+        assert histogram.count > 0
+        assert histogram.quantile(0.5) >= 0.0
+
+    def test_markers_reach_every_parallel_subtask(self):
+        engine, _sink = run(PERIOD, chaining=False, parallelism=2, fan_out=True)
+        snapshot = engine.metrics_snapshot()["metrics"]
+        for subtask in (0, 1):
+            path = f"lat/agg/{subtask}/latency_from_source"
+            assert path in snapshot and snapshot[path]["count"] > 0
+
+    def test_disabled_by_default(self):
+        engine, _sink = run(None)
+        assert engine.obs.latency.e2e_histograms() == {}
+        snapshot = engine.metrics_snapshot()["metrics"]
+        assert not any("latency" in path for path in snapshot)
+
+
+class TestMarkersArePure:
+    @pytest.mark.parametrize("chaining", [False, True])
+    def test_sink_output_identical_with_markers_on_and_off(self, chaining):
+        _, plain = run(None, chaining=chaining)
+        _, marked = run(PERIOD, chaining=chaining)
+        assert plain.values() == marked.values()
+        assert [r.event_time for r in plain.results] == [
+            r.event_time for r in marked.results
+        ]
+
+    def test_record_counts_exclude_markers(self):
+        engine, sink = run(PERIOD, chaining=False)
+        snapshot = engine.metrics_snapshot()["metrics"]
+        # Every operator saw exactly the COUNT records; markers must not
+        # inflate the record counters even though they used the channels.
+        assert snapshot["lat/extract/0/records_in"] == COUNT
+        assert snapshot["lat/out/0/records_in"] == COUNT
+        assert len(sink.results) == COUNT
+
+    def test_windows_ignore_markers(self):
+        def windowed(marker_period):
+            config = EngineConfig(seed=3, latency_marker_period=marker_period)
+            env = StreamExecutionEnvironment(config, name="winlat")
+            sink = CollectSink("out")
+            (
+                env.from_workload(
+                    SensorWorkload(count=COUNT, rate=RATE, key_count=4, seed=3),
+                    name="src",
+                )
+                .map(lambda v: v["reading"], name="extract")
+                .key_by(lambda r: int(r * 10) % 4)
+                .window(TumblingEventTimeWindows(0.02))
+                .aggregate(
+                    create=lambda: 0.0, add=lambda acc, r: acc + r, name="winsum"
+                )
+                .sink(sink, name="out")
+            )
+            env.build()
+            env.execute()
+            return sink
+
+        assert windowed(None).values() == windowed(PERIOD).values()

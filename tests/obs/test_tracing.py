@@ -1,0 +1,133 @@
+"""Record-level tracing: span trees through chains, shuffles, recovery."""
+
+from repro.core.datastream import StreamExecutionEnvironment
+from repro.io.sinks import CollectSink
+from repro.io.sources import CollectionWorkload, SensorWorkload
+from repro.runtime.config import CheckpointConfig, EngineConfig
+
+COUNT = 60
+
+
+def build_env(sample_rate, chaining=False, seed=7, checkpoints=None):
+    config = EngineConfig(
+        seed=seed,
+        chaining_enabled=chaining,
+        trace_sample_rate=sample_rate,
+        checkpoints=checkpoints,
+    )
+    env = StreamExecutionEnvironment(config, name="trace")
+    sink = CollectSink("out")
+    (
+        env.from_workload(
+            CollectionWorkload(list(range(COUNT)), rate=2000.0), name="src"
+        )
+        .map(lambda v: v * 2, name="double", parallelism=1)
+        .sink(sink, name="out", parallelism=1)
+    )
+    return env, sink
+
+
+class TestSampling:
+    def test_rate_one_traces_every_record(self):
+        env, _sink = build_env(1.0)
+        engine = env.build()
+        env.execute()
+        roots = engine.obs.tracer.trees()
+        assert len(roots) == COUNT
+        assert all(root.operator.startswith("src") for root in roots)
+
+    def test_rate_zero_records_nothing(self):
+        env, _sink = build_env(0.0)
+        engine = env.build()
+        env.execute()
+        assert engine.obs.tracer.spans == []
+
+    def test_fractional_rate_samples_a_subset(self):
+        env, _sink = build_env(0.3)
+        engine = env.build()
+        env.execute()
+        roots = engine.obs.tracer.trees()
+        assert 0 < len(roots) < COUNT
+
+
+class TestSpanTopology:
+    def test_child_spans_follow_the_dataflow(self):
+        env, _sink = build_env(1.0)
+        engine = env.build()
+        env.execute()
+        for root in engine.obs.tracer.trees():
+            assert len(root.children) == 1
+            double = root.children[0]
+            assert double.operator == "double[0]"
+            assert double.parent_id == root.span_id
+            assert double.trace_id == root.trace_id
+            assert len(double.children) == 1
+            sink_span = double.children[0]
+            assert sink_span.operator == "out[0]"
+            # Channel latency: downstream spans open no earlier than the
+            # parent closed.
+            assert root.exit <= double.enter <= sink_span.enter
+
+    def test_spans_cross_a_keyed_shuffle(self):
+        config = EngineConfig(seed=9, trace_sample_rate=1.0, chaining_enabled=False)
+        env = StreamExecutionEnvironment(config, name="trace")
+        sink = CollectSink("out")
+        (
+            env.from_workload(
+                SensorWorkload(count=COUNT, rate=2000.0, key_count=4, seed=9),
+                name="src",
+            )
+            .map(lambda v: v["reading"], name="extract")
+            .key_by(lambda r: int(r * 10) % 4)
+            .aggregate(
+                create=lambda: 0.0,
+                add=lambda acc, r: acc + r,
+                name="agg",
+                parallelism=2,
+            )
+            .sink(sink, name="out", parallelism=1)
+        )
+        engine = env.build()
+        env.execute()
+        agg_spans = [
+            span
+            for span in engine.obs.tracer.spans
+            if span.operator.startswith("agg[")
+        ]
+        assert agg_spans
+        assert {span.operator for span in agg_spans} <= {"agg[0]", "agg[1]"}
+        # Every shuffled span still belongs to a rooted trace.
+        roots = {span.trace_id for span in engine.obs.tracer.trees()}
+        assert all(span.trace_id in roots for span in agg_spans)
+
+    def test_chained_operators_appear_as_member_subspans(self):
+        env, _sink = build_env(1.0, chaining=True)
+        engine = env.build()
+        env.execute()
+        operators = {span.operator for span in engine.obs.tracer.spans}
+        # The fused task span plus a per-member sub-span for each link.
+        assert any("->" in op for op in operators)
+        assert "double" in operators
+        assert "out" in operators
+
+
+class TestRecovery:
+    def test_spans_survive_a_kill_and_annotate_the_new_epoch(self):
+        env, _sink = build_env(
+            1.0, checkpoints=CheckpointConfig(interval=0.005)
+        )
+        engine = env.build()
+
+        def fail_and_recover():
+            engine.kill_task("double[0]")
+            engine.recover_from_checkpoint()
+
+        engine.kernel.call_at(0.015, fail_and_recover)
+        engine.run(until=30.0)
+        assert engine.job_finished
+        tracer = engine.obs.tracer
+        epochs = tracer.epochs_seen()
+        assert {0, 1} <= epochs
+        # Pre-kill spans were recorded engine-side, so they outlive the task.
+        assert any(span.epoch == 0 for span in tracer.spans)
+        assert any(span.epoch == 1 for span in tracer.spans)

@@ -151,3 +151,55 @@ class TestScatterGatherAndViews:
         # is a valid prefix of the final state.
         assert sum(view.latest().values()) <= 800
         assert sum(service.query_all("count", DESC).values()) == 800
+
+    def test_state_view_stop_halts_refreshes_mid_run(self):
+        env = build()
+        engine = env.build()
+        service = QueryableStateService(engine)
+        view = StateView(service, "count", DESC, refresh_interval=0.02)
+        view.start()
+        engine.kernel.call_at(0.08, view.stop)
+        env.execute()
+        # Refreshes stopped well before the job drained: versions froze.
+        assert 1 <= len(view.versions) <= 4
+        assert all(at <= 0.08 for at, _v in view.versions)
+        assert sum(view.latest().values()) < 800
+
+    def test_state_view_before_first_refresh_is_empty(self):
+        env = build(count=100)
+        engine = env.build()
+        service = QueryableStateService(engine)
+        view = StateView(service, "count", DESC, refresh_interval=0.05)
+        assert view.latest() == {}
+        view.stop()  # stop before start: harmless no-op
+
+
+class TestMetricQueries:
+    def test_metrics_served_through_the_state_facade(self):
+        env = build()
+        engine = env.build()
+        service = QueryableStateService(engine)
+        mid_run = {}
+        engine.kernel.call_at(
+            0.05, lambda: mid_run.update(service.query_metrics())
+        )
+        env.execute()
+        served_before = service.queries_served
+        final = service.query_metrics()
+        assert service.queries_served == served_before + 1
+        # Mid-run snapshot is stamped with its query time and shows less
+        # progress than the final one.
+        assert mid_run["now"] < final["now"]
+        count_in = f"{engine.obs.registry.job}/count/0/records_in"
+        assert mid_run["metrics"][count_in] <= final["metrics"][count_in]
+
+    def test_fragment_filters_metric_paths(self):
+        env = build(count=100)
+        engine = env.build()
+        service = QueryableStateService(engine)
+        env.execute()
+        filtered = service.query_metrics(fragment="records_in")
+        assert filtered["metrics"]
+        assert all("records_in" in path for path in filtered["metrics"])
+        everything = service.query_metrics()
+        assert len(everything["metrics"]) > len(filtered["metrics"])

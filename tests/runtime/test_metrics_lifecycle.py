@@ -1,0 +1,106 @@
+"""Regression: rate metrics across a kill → restore → finish lifecycle.
+
+``TaskMetrics`` keeps its original ``started_at`` across reincarnation (the
+counters are cumulative), so ``utilization`` / ``observed_rate`` must
+exclude dead intervals. Before the ``downtime`` accounting, a
+restore-then-finish run divided by the stale full elapsed window and both
+rates came out diluted.
+"""
+
+import pytest
+
+from repro.core.datastream import StreamExecutionEnvironment
+from repro.fault.guarantees import config_for_guarantee
+from repro.io.sinks import CollectSink
+from repro.io.sources import CollectionWorkload
+from repro.runtime.config import GuaranteeLevel
+from repro.runtime.metrics import TaskMetrics
+
+
+class TestUnitMath:
+    def test_downtime_excluded_from_lifetime(self):
+        metrics = TaskMetrics(started_at=0.0)
+        metrics.mark_down(2.0)
+        metrics.mark_up(5.0)
+        assert metrics.downtime == pytest.approx(3.0)
+        assert metrics.lifetime(10.0) == pytest.approx(7.0)
+
+    def test_open_outage_measured_up_to_now(self):
+        metrics = TaskMetrics(started_at=0.0)
+        metrics.mark_down(4.0)
+        assert metrics.lifetime(9.0) == pytest.approx(4.0)
+
+    def test_mark_down_is_idempotent_while_down(self):
+        metrics = TaskMetrics(started_at=0.0)
+        metrics.mark_down(1.0)
+        metrics.mark_down(2.0)  # second kill signal during the same outage
+        metrics.mark_up(3.0)
+        assert metrics.downtime == pytest.approx(2.0)
+
+    def test_mark_up_clears_stale_finished_at(self):
+        metrics = TaskMetrics(started_at=0.0)
+        metrics.finished_at = 1.0
+        metrics.mark_down(1.0)
+        metrics.mark_up(2.0)
+        assert metrics.finished_at is None
+        assert metrics.lifetime(4.0) == pytest.approx(3.0)
+
+    def test_observed_rate_uses_live_time_not_stale_elapsed(self):
+        metrics = TaskMetrics(started_at=0.0, records_in=100, busy_time=5.0)
+        metrics.mark_down(10.0)
+        metrics.mark_up(20.0)
+        metrics.finished_at = 20.0
+        # Naive elapsed would be 20s → rate 5/s; live time is 10s → 10/s.
+        assert metrics.observed_rate(now=20.0) == pytest.approx(10.0)
+        assert metrics.utilization(now=20.0) == pytest.approx(0.5)
+
+
+class TestRestoreThenFinishIntegration:
+    def build(self, events=120):
+        config = config_for_guarantee(
+            GuaranteeLevel.AT_LEAST_ONCE,
+            checkpoint_interval=0.01,
+            seed=5,
+            chaining_enabled=False,
+        )
+        env = StreamExecutionEnvironment(config, name="lifecycle")
+        sink = CollectSink("out")
+        (
+            env.from_workload(
+                CollectionWorkload(list(range(events)), rate=2000.0), name="src"
+            )
+            .map(lambda v: v * 2, name="double")
+            .sink(sink, name="out")
+        )
+        return env.build(), sink
+
+    def test_rates_exclude_the_outage_window(self):
+        engine, _sink = self.build()
+        # Kill, then leave the task dead for a while before recovering —
+        # the outage is a large fraction of the run.
+        engine.kernel.call_at(0.02, lambda: engine.kill_task("double[0]"))
+        engine.kernel.call_at(0.08, engine.recover_from_checkpoint)
+        engine.run(until=30.0)
+        assert engine.job_finished
+
+        metrics = engine.tasks["double[0]"].metrics
+        now = engine.kernel.now()
+        assert metrics.downtime > 0.0
+        assert metrics.down_since is None
+        assert metrics.finished_at is not None
+
+        naive_elapsed = metrics.finished_at - metrics.started_at
+        naive_rate = metrics.records_in / naive_elapsed
+        assert metrics.lifetime(now) < naive_elapsed
+        assert metrics.observed_rate(now) > naive_rate
+        assert 0.0 < metrics.utilization(now) <= 1.0
+
+    def test_clean_run_has_no_downtime(self):
+        engine, sink = self.build()
+        engine.run(until=30.0)
+        assert engine.job_finished
+        metrics = engine.tasks["double[0]"].metrics
+        assert metrics.downtime == 0.0
+        assert metrics.down_since is None
+        assert metrics.observed_rate(engine.kernel.now()) > 0.0
+        assert len(sink.results) == 120
