@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Pre-merge smoke check: run the tier-1 test suite, then every benchmark in
 # smoke mode (--benchmark-disable runs each experiment once, keeping the
-# shape assertions and the BENCH_throughput.json refresh without the timed
-# calibration rounds). Usage: scripts/bench_smoke.sh [extra pytest args]
+# shape assertions and the BENCH_*.json refreshes — throughput, recovery,
+# latency, checkpoint — without the timed calibration rounds).
+# Usage: scripts/bench_smoke.sh [extra pytest args]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

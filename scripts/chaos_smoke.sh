@@ -4,7 +4,10 @@
 # (restart strategies + regional failover driven by the Supervisor) —
 # capped at ~30 seconds of wall clock per mode. Any oracle violation
 # prints a copy-pasteable minimal reproducer and fails the script.
-# Usage: scripts/chaos_smoke.sh [--seed N] [--schedules K] [--mode default|supervised|both]
+# Usage: scripts/chaos_smoke.sh [--seed N] [--schedules K]
+#          [--mode default|supervised|both] [--obs] [--incremental]
+# --obs runs with latency markers + tracing on; --incremental checkpoints
+# via base+delta chains — neither may change any verdict.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -96,6 +96,7 @@ class ChaosRunner:
         supervised: bool = False,
         supervisor_config_factory: Callable[[], SupervisorConfig] | None = None,
         observability: bool = False,
+        incremental: bool = False,
     ) -> None:
         self.scenario = scenario
         self.seed = seed
@@ -111,6 +112,9 @@ class ChaosRunner:
         #: observability traffic must never change a verdict (the
         #: metric-invariant oracle runs either way)
         self.observability = observability
+        #: checkpoint via incremental base+delta chains instead of full
+        #: snapshots — recovery mechanics change, verdicts must not
+        self.incremental = incremental
 
     # ------------------------------------------------------------------
     def run_one(
@@ -128,6 +132,8 @@ class ChaosRunner:
         if self.observability:
             config.latency_marker_period = 0.01
             config.trace_sample_rate = 0.05
+        if self.incremental and config.checkpoints is not None:
+            config.checkpoints.incremental = True
         run = self.scenario.build(config)
         engine = run.engine
         if schedule is None:

@@ -51,6 +51,12 @@ def main(argv: list[str] | None = None) -> int:
         help="run with latency markers + tracing enabled (in-band probes "
         "must not change any verdict)",
     )
+    parser.add_argument(
+        "--incremental",
+        action="store_true",
+        help="checkpoint with incremental base+delta chains (recovery "
+        "mechanics change, verdicts must not)",
+    )
     args = parser.parse_args(argv)
 
     modes = ("default", "supervised") if args.mode == "both" else (args.mode,)
@@ -68,6 +74,7 @@ def main(argv: list[str] | None = None) -> int:
                 matrix=SMOKE_MATRIX,
                 supervised=supervised,
                 observability=args.obs,
+                incremental=args.incremental,
             )
             for flags in runner.matrix:
                 for index in range(args.schedules):

@@ -8,7 +8,12 @@ this package adds the alternatives the survey compares:
 * lineage/micro-batch recomputation — :mod:`repro.checkpoint.lineage`
 """
 
-from repro.checkpoint.incremental import DeltaSnapshot, IncrementalSnapshotter, restore_chain
+from repro.checkpoint.incremental import (
+    DeltaSnapshot,
+    IncrementalSnapshotter,
+    TaskChainStore,
+    restore_chain,
+)
 from repro.checkpoint.lineage import BatchRef, LineageGraph, stateful_dstream
 
 __all__ = [
@@ -16,6 +21,7 @@ __all__ = [
     "DeltaSnapshot",
     "IncrementalSnapshotter",
     "LineageGraph",
+    "TaskChainStore",
     "restore_chain",
     "stateful_dstream",
 ]

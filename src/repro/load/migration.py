@@ -207,7 +207,7 @@ class Rescaler:
                     moved_entries += 1
                     moved_bytes += len(data)
                 for owner_index, chunk in by_owner.items():
-                    tasks[owner_index].state_backend.restore({name: chunk})
+                    tasks[owner_index].state_backend.merge({name: chunk})
             for owner_index, timers in moving_timers.items():
                 for ts, _seq, key, payload in timers:
                     tasks[owner_index].register_event_timer(ts, key, payload)

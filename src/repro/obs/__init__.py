@@ -139,6 +139,19 @@ class Observability:
         self.registry.gauge(
             f"{job}/engine/0/job_finished", lambda e=engine: int(e.job_finished)
         )
+        # Incremental checkpoint internals (chain store present only when
+        # ``checkpoints.incremental`` is on). The per-capture histograms
+        # (delta_bytes, full_bytes, dirty_keys, capture_seconds,
+        # persist_seconds) are recorded by the engine under the same
+        # ``job/checkpoint/0`` scope as captures happen.
+        store = getattr(engine, "checkpoint_store", None)
+        if store is not None:
+            prefix = f"{job}/checkpoint/0"
+            self.registry.gauge(
+                f"{prefix}/chain_length_max", lambda s=store: s.max_segment_length()
+            )
+            self.registry.gauge(f"{prefix}/rebases", lambda s=store: s.rebases)
+            self.registry.gauge(f"{prefix}/links_pruned", lambda s=store: s.links_pruned)
         recovery = engine.metrics.recovery
         self.registry.gauge(
             f"{job}/recovery/0/incidents", lambda r=recovery: len(r.incidents)

@@ -40,8 +40,21 @@ class CheckpointConfig:
     write_cost_per_byte: float = 2e-9
     #: fixed round-trip to durable storage per snapshot
     write_base_cost: float = 5e-3
-    #: incremental: snapshot only entries changed since the last checkpoint
+    #: incremental: wrap every task backend in an
+    #: :class:`~repro.checkpoint.incremental.IncrementalSnapshotter` so each
+    #: barrier captures only the entries changed since the previous capture;
+    #: the engine keeps per-task base+delta chains and recovery replays them
     incremental: bool = False
+    #: incremental mode: delta links allowed per chain segment before the
+    #: next capture rebases (takes a full snapshot), bounding recovery replay
+    max_chain_length: int = 8
+    #: incremental mode: completed checkpoints kept restorable; older chain
+    #: links are compacted away once a newer base covers the retained set
+    retained_checkpoints: int = 2
+    #: virtual seconds charged *on the processing path* per entry captured at
+    #: a barrier (dirty entries for a delta, all entries for a full snapshot);
+    #: 0.0 keeps capture free, isolating the persist-cost term
+    capture_cost_per_entry: float = 0.0
     #: abort an in-flight checkpoint that hasn't completed within this many
     #: virtual seconds (None = wait forever). Without a timeout, a lost
     #: barrier wedges the coordinator: the pending checkpoint never

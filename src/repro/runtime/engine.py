@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.checkpoint.incremental import IncrementalSnapshotter, TaskChainStore, restore_chain
 from repro.core.events import MAX_TIMESTAMP, CheckpointBarrier, EndOfStream, StreamElement, Watermark
 from repro.core.graph import LogicalNode, Partitioning, StreamGraph
 from repro.core.operators.base import Operator
@@ -142,6 +143,16 @@ class Engine:
         self._task_backend_factories: dict[str, Callable[[], Any]] = {}
         #: chain member node_id → fused group (head first); heads map too
         self._chained_nodes: dict[int, list[LogicalNode]] = {}
+        #: incremental checkpoint mode: per-task base + delta snapshot chains
+        #: (None when ``checkpoints.incremental`` is off); task backends are
+        #: wrapped in IncrementalSnapshotters during planning
+        checkpoint_config = self.config.checkpoints
+        self.checkpoint_store: TaskChainStore | None = None
+        if checkpoint_config is not None and checkpoint_config.incremental:
+            self.checkpoint_store = TaskChainStore(
+                max_chain_length=checkpoint_config.max_chain_length,
+                retained_checkpoints=checkpoint_config.retained_checkpoints,
+            )
         #: kernel-time observability bundle: metric registry, latency
         #: markers, tracing, profiling (created before _build so tasks and
         #: channels register as they are wired)
@@ -244,6 +255,22 @@ class Engine:
         source_group = self._chained_nodes.get(edge.source_id)
         return source_group is not None and source_group is self._chained_nodes.get(edge.target_id)
 
+    def _resolve_backend_factory(self, node_factory: Callable[[], Any] | None) -> Callable[[], Any]:
+        """Resolve a node's backend factory against the config default and,
+        in incremental checkpoint mode, wrap it so every built backend (and
+        every reincarnation) tracks dirty keys for delta captures."""
+        base_factory = node_factory or self.config.state_backend_factory
+        if self.checkpoint_store is None:
+            return base_factory
+
+        def build() -> Any:
+            backend = base_factory()
+            if isinstance(backend, IncrementalSnapshotter):
+                return backend
+            return IncrementalSnapshotter(backend)
+
+        return build
+
     def _node_cost(self, node: LogicalNode, operator: Operator) -> float:
         if node.processing_cost is not None:
             return node.processing_cost
@@ -269,7 +296,7 @@ class Engine:
         name = f"{chain_name}[{index}]"
         operator_factory = self._chain_operator_factory(group, chain_name)
         operator = operator_factory()
-        backend_factory = head.state_backend_factory or self.config.state_backend_factory
+        backend_factory = self._resolve_backend_factory(head.state_backend_factory)
         task = Task(
             self.kernel,
             name,
@@ -311,7 +338,7 @@ class Engine:
                 subtask_index=index,
                 parallelism=node.parallelism,
             )
-        backend_factory = node.state_backend_factory or self.config.state_backend_factory
+        backend_factory = self._resolve_backend_factory(node.state_backend_factory)
         self._task_factories[name] = node.new_operator
         self._task_backend_factories[name] = backend_factory
         task = Task(
@@ -475,6 +502,8 @@ class Engine:
             return
         self.checkpoints.pop(record.checkpoint_id, None)
         self._pending_checkpoint = None
+        if self.checkpoint_store is not None:
+            self.checkpoint_store.note_aborted(record.checkpoint_id)
         # Release any task still blocked aligning on the abandoned barrier —
         # with a barrier lost in transit the alignment would never resolve.
         for task in self.tasks.values():
@@ -482,6 +511,16 @@ class Engine:
 
     def on_task_snapshot(self, task: Task, snapshot: TaskSnapshot, source: bool = False) -> None:
         """Task callback: gather a snapshot into the pending checkpoint."""
+        if snapshot.delta is not None and self.checkpoint_store is not None:
+            # Append the captured link unconditionally: the snapshotter's
+            # next delta bases on it, so even a capture for an
+            # already-aborted checkpoint must stay as chain interior — it
+            # just never becomes restorable (checkpoint id withheld).
+            live = snapshot.checkpoint_id in self.checkpoints
+            self.checkpoint_store.append(
+                task.name, snapshot.delta, snapshot.checkpoint_id if live else None
+            )
+            self._record_capture_metrics(task, snapshot)
         record = self._pending_checkpoint
         if record is None or snapshot.checkpoint_id not in self.checkpoints:
             return
@@ -490,9 +529,30 @@ class Engine:
         if len(record.snapshots) >= self._expected_snapshot_count:
             self._finalize_checkpoint(record)
 
+    def _record_capture_metrics(self, task: Task, snapshot: TaskSnapshot) -> None:
+        """Publish per-capture checkpoint internals (delta vs would-be-full
+        volume, captured churn, capture cost) to the metric registry."""
+        registry = self.obs.registry
+        prefix = f"{self.graph.name}/checkpoint/0"
+        delta = snapshot.delta
+        registry.histogram(f"{prefix}/delta_bytes").record(delta.size_bytes())
+        registry.histogram(f"{prefix}/dirty_keys").record(delta.entry_count())
+        registry.histogram(f"{prefix}/full_bytes").record(task.state_backend.snapshot_bytes())
+        capture_cost_per_entry = self.config.checkpoints.capture_cost_per_entry
+        registry.histogram(f"{prefix}/capture_seconds").record(
+            delta.entry_count() * capture_cost_per_entry
+        )
+
     def _finalize_checkpoint(self, record: CheckpointRecord) -> None:
         cfg = self.config.checkpoints
+        # Two-phase protocol: capture already happened synchronously at each
+        # barrier; the serialization + upload below overlaps processing in
+        # virtual time, priced from what is actually uploaded — the deltas in
+        # incremental mode (record.total_bytes() sums delta sizes then).
         persist_cost = cfg.write_base_cost + record.total_bytes() * cfg.write_cost_per_byte
+        self.obs.registry.histogram(
+            f"{self.graph.name}/checkpoint/0/persist_seconds"
+        ).record(persist_cost)
         epoch = self.execution_epoch
 
         def complete() -> None:
@@ -501,9 +561,13 @@ class Engine:
                 # persisting: the checkpoint belongs to a dead execution and
                 # must never be registered or commit sink epochs.
                 self.checkpoints.pop(record.checkpoint_id, None)
+                if self.checkpoint_store is not None:
+                    self.checkpoint_store.note_aborted(record.checkpoint_id)
                 return
             record.completed_at = self.kernel.now()
             self.completed_checkpoints.append(record.checkpoint_id)
+            if self.checkpoint_store is not None:
+                self.checkpoint_store.note_completed(record.checkpoint_id)
             for sink in self.sinks.values():
                 if isinstance(sink, TransactionalSink):
                     self._commit_sink(sink, record.checkpoint_id)
@@ -558,8 +622,11 @@ class Engine:
         task.kill()
         if self._pending_checkpoint is not None:
             # In-flight checkpoint can never complete: abort it.
-            self.checkpoints.pop(self._pending_checkpoint.checkpoint_id, None)
+            aborted_id = self._pending_checkpoint.checkpoint_id
+            self.checkpoints.pop(aborted_id, None)
             self._pending_checkpoint = None
+            if self.checkpoint_store is not None:
+                self.checkpoint_store.note_aborted(aborted_id)
 
     def node_of(self, task: Task) -> LogicalNode:
         """The logical node a task belongs to (the chain head for a task
@@ -584,7 +651,7 @@ class Engine:
         if factory is not None:
             return factory
         node = self.node_of(task)
-        return node.state_backend_factory or self.config.state_backend_factory
+        return self._resolve_backend_factory(node.state_backend_factory)
 
     def restore_latency(self, snapshot_bytes: int) -> float:
         """Virtual time to pull a snapshot from durable storage."""
@@ -592,6 +659,35 @@ class Engine:
         if cfg is None:
             return 0.0
         return cfg.write_base_cost + snapshot_bytes * cfg.write_cost_per_byte
+
+    def restore_bytes(self, record: CheckpointRecord, task_names: set[str] | None = None) -> int:
+        """Volume a restore must pull for ``record`` (optionally restricted
+        to ``task_names``): full-snapshot sizes classically, the whole
+        base + delta chain per task in incremental mode — which is what
+        makes recovery time grow with chain length until a rebase bounds it.
+        """
+        total = 0
+        for name, snapshot in record.snapshots.items():
+            if task_names is not None and name not in task_names:
+                continue
+            if snapshot.delta is not None and self.checkpoint_store is not None:
+                total += self.checkpoint_store.chain_bytes(name, snapshot.delta)
+            else:
+                total += snapshot.size_bytes()
+        return total
+
+    def restore_task_chain(self, task: Task, snapshot: TaskSnapshot) -> None:
+        """Rebuild ``task``'s keyed state from the base + delta chain ending
+        at ``snapshot``'s captured link. The backend is cleared first so a
+        reused (failure-surviving) backend cannot leak post-checkpoint keys
+        into the restored state."""
+        if self.checkpoint_store is None:
+            raise CheckpointError(
+                "incremental snapshot cannot be restored: engine has no chain store"
+            )
+        chain = self.checkpoint_store.chain_to(task.name, snapshot.delta)
+        task.state_backend.clear_all()
+        restore_chain(task.state_backend, chain)
 
     def recover_from_checkpoint(self, checkpoint_id: int | None = None) -> float:
         """Global restart from a completed checkpoint (Flink-style).
@@ -632,7 +728,7 @@ class Engine:
         # stale EndOfStream would finish the job before the replay arrives).
         for channel in self.iter_physical_channels():
             channel.reset()
-        restore_delay = self.restore_latency(record.total_bytes())
+        restore_delay = self.restore_latency(self.restore_bytes(record))
         resume_at = self.kernel.now() + restore_delay
         self._restore_in_flight = True
         self._restore_resume_at = resume_at
@@ -757,11 +853,7 @@ class Engine:
                 channel.sender is not None and channel.sender.name in region_names
             ):
                 channel.reset()
-        region_bytes = sum(
-            snap.size_bytes()
-            for name, snap in record.snapshots.items()
-            if name in region_names
-        )
+        region_bytes = self.restore_bytes(record, region_names)
         resume_at = self.kernel.now() + self.restore_latency(region_bytes)
         token = object()
         for name in region_names:
@@ -816,8 +908,11 @@ class Engine:
         self._region_restores.clear()
         self._restore_in_flight = False
         if self._pending_checkpoint is not None:
-            self.checkpoints.pop(self._pending_checkpoint.checkpoint_id, None)
+            failed_id = self._pending_checkpoint.checkpoint_id
+            self.checkpoints.pop(failed_id, None)
             self._pending_checkpoint = None
+            if self.checkpoint_store is not None:
+                self.checkpoint_store.note_aborted(failed_id)
         for task in self._planned_tasks():
             if not task.dead and not task.finished:
                 task.kill()

@@ -34,6 +34,7 @@ from repro.core.events import (
     StreamElement,
     Watermark,
 )
+from repro.checkpoint.incremental import IncrementalSnapshotter
 from repro.core.operators.base import Operator, OperatorContext
 from repro.errors import RuntimeStateError
 from repro.obs.profile import NULL_PROFILE_SCOPE, ProfileScope
@@ -51,7 +52,13 @@ if TYPE_CHECKING:  # pragma: no cover
 
 @dataclass
 class TaskSnapshot:
-    """Everything needed to reincarnate a task at a checkpoint."""
+    """Everything needed to reincarnate a task at a checkpoint.
+
+    In incremental checkpoint mode ``keyed_state`` stays empty and ``delta``
+    carries the :class:`~repro.checkpoint.incremental.DeltaSnapshot` link
+    captured at the barrier; keyed state is then restored by replaying the
+    engine's base + delta chain up to this link.
+    """
 
     task_name: str
     checkpoint_id: int
@@ -61,9 +68,17 @@ class TaskSnapshot:
     watermark: float
     source_offset: int | None = None
     taken_at: float = 0.0
+    #: incremental mode: the chain link captured at this barrier
+    delta: Any = None
 
     def size_bytes(self) -> int:
-        """Approximate snapshot volume (drives recovery-cost models)."""
+        """Approximate snapshot volume (drives recovery-cost models).
+
+        For an incremental capture this is the *delta* volume — the bytes
+        the persist phase actually uploads — not the full state size.
+        """
+        if self.delta is not None:
+            return self.delta.size_bytes() + 64
         total = sum(
             len(data) + 16 for entries in self.keyed_state.values() for data in entries.values()
         )
@@ -644,15 +659,43 @@ class Task:
         self.collect_output(barrier)
 
     def take_snapshot(self, checkpoint_id: int) -> TaskSnapshot:
-        """Capture keyed state, operator state, timers and watermark."""
+        """Capture keyed state, operator state, timers and watermark.
+
+        In incremental mode (engine chain store present, backend wrapped in
+        an :class:`~repro.checkpoint.incremental.IncrementalSnapshotter`) a
+        coordinator capture (``checkpoint_id >= 0``) takes only the delta
+        since the previous capture — or a full snapshot when the chain store
+        asks for a rebase — and charges the O(captured-entries) capture cost
+        to the barrier element via the cost model. Out-of-band captures
+        (standby mirrors use negative ids) keep the classic full-dict path
+        so they never perturb the chain's dirty tracking.
+        """
+        keyed_state: dict[str, dict[Any, bytes]] = {}
+        delta = None
+        store = self.engine.checkpoint_store if self.engine is not None else None
+        if (
+            checkpoint_id >= 0
+            and store is not None
+            and isinstance(self.state_backend, IncrementalSnapshotter)
+        ):
+            if store.wants_full(self.name):
+                delta = self.state_backend.full_snapshot()
+            else:
+                delta = self.state_backend.delta_snapshot()
+            capture_cost_per_entry = self.engine.config.checkpoints.capture_cost_per_entry
+            if capture_cost_per_entry:
+                self.ctx.add_cost(delta.entry_count() * capture_cost_per_entry)
+        else:
+            keyed_state = self.state_backend.snapshot()
         snapshot = TaskSnapshot(
             task_name=self.name,
             checkpoint_id=checkpoint_id,
-            keyed_state=self.state_backend.snapshot(),
+            keyed_state=keyed_state,
             operator_state=self.operator.snapshot_state(),
             timers=[(t, k, p) for (t, _s, k, p) in self._event_timers],
             watermark=self.current_watermark,
             taken_at=self.kernel.now(),
+            delta=delta,
         )
         self.last_snapshot = snapshot
         return snapshot
@@ -662,7 +705,12 @@ class Task:
         operator/backend incarnation."""
         if snapshot is None:
             return
-        self.state_backend.restore(snapshot.keyed_state)
+        if snapshot.delta is not None and self.engine is not None:
+            # Incremental capture: keyed state lives in the engine's
+            # base + delta chain, not in the snapshot itself.
+            self.engine.restore_task_chain(self, snapshot)
+        else:
+            self.state_backend.restore(snapshot.keyed_state)
         self.operator.restore_state(snapshot.operator_state)
         self._event_timers = []
         for timestamp, key, payload in snapshot.timers:

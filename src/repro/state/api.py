@@ -266,7 +266,23 @@ class KeyedStateBackend:
         return out
 
     def restore(self, snapshot: dict[str, dict[Any, bytes]]) -> None:
-        """Load a snapshot produced by :meth:`snapshot`."""
+        """Load a snapshot produced by :meth:`snapshot`, replacing all state.
+
+        Pre-existing entries are cleared first: restore means "become exactly
+        the checkpointed state". On a reused backend (NVRAM-style storage
+        that survives task failure, for example) a key written after the
+        checkpoint must not survive into the restored state. Use
+        :meth:`merge` to load entries *into* live state instead.
+        """
+        self.clear_all()
+        self.merge(snapshot)
+
+    def merge(self, snapshot: dict[str, dict[Any, bytes]]) -> None:
+        """Load snapshot entries on top of live state without clearing.
+
+        Live-migration uses this to move key groups into a destination
+        backend that already owns other keys.
+        """
         by_name = {d.name: d for d in self.descriptors()}
         for name, entries in snapshot.items():
             descriptor = by_name.get(name)

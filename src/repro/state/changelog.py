@@ -104,10 +104,24 @@ class ChangelogStateBackend(KeyedStateBackend):
         return self._inner.descriptors()
 
     def snapshot(self) -> dict[str, dict[Any, bytes]]:
+        """Delegate snapshots to the inner backend (the log is the backup)."""
         return self._inner.snapshot()
 
     def restore(self, snapshot: dict[str, dict[Any, bytes]]) -> None:
+        """Replace inner state with a snapshot (no changelog writes)."""
         self._inner.restore(snapshot)
+
+    def merge(self, snapshot: dict[str, dict[Any, bytes]]) -> None:
+        """Load entries into live inner state (no changelog writes)."""
+        self._inner.merge(snapshot)
+
+    def total_entries(self) -> int:
+        """Inner backend's live entry count (incremental accounting)."""
+        return self._inner.total_entries()
+
+    def snapshot_bytes(self) -> int:
+        """Inner backend's serialized snapshot volume."""
+        return self._inner.snapshot_bytes()
 
     def restore_from_log(self, from_offset: int = 0) -> int:
         """Replay the changelog into the inner backend; returns the number of

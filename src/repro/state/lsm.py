@@ -86,6 +86,14 @@ class LSMStateBackend(KeyedStateBackend):
         self._key_index: dict[str, dict[str, Any]] = {}  # name -> composite -> key
         self.flushes = 0
         self.compactions = 0
+        # incremental sizing accounting: name -> composite -> cached
+        # serialized size (_DIRTY_SIZE until the next sizing query), kept in
+        # lock-step with put/delete so entry counts are O(1) and sizing
+        # queries are O(entries written since the last query)
+        self._live_sizes: dict[str, dict[str, int]] = {}
+        self._size_dirty: set[tuple[str, str]] = set()
+        self._entry_count = 0
+        self._size_total = 0
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -95,6 +103,7 @@ class LSMStateBackend(KeyedStateBackend):
     def register(self, descriptor: StateDescriptor) -> None:
         self._descriptors.setdefault(descriptor.name, descriptor)
         self._key_index.setdefault(descriptor.name, {})
+        self._live_sizes.setdefault(descriptor.name, {})
 
     def _flush_memtable(self) -> None:
         items = sorted(self._memtable.items())
@@ -119,10 +128,21 @@ class LSMStateBackend(KeyedStateBackend):
                 return None if value is _TOMBSTONE else value
         return None
 
+    #: cached-size sentinel: entry rewritten since the last sizing query
+    _DIRTY_SIZE = -1
+
     def put(self, descriptor: StateDescriptor, key: Any, value: Any) -> None:
         self.register(descriptor)
         self.stats.writes += 1
         composite = self._composite(descriptor, key)
+        sizes = self._live_sizes[descriptor.name]
+        cached = sizes.get(composite)
+        if cached is None:
+            self._entry_count += 1
+        elif cached >= 0:
+            self._size_total -= cached
+        sizes[composite] = self._DIRTY_SIZE
+        self._size_dirty.add((descriptor.name, composite))
         self._memtable[composite] = value
         self._key_index[descriptor.name][composite] = key
         if len(self._memtable) >= self._memtable_limit:
@@ -132,6 +152,13 @@ class LSMStateBackend(KeyedStateBackend):
         self.register(descriptor)
         self.stats.writes += 1
         composite = self._composite(descriptor, key)
+        sizes = self._live_sizes[descriptor.name]
+        cached = sizes.pop(composite, None)
+        if cached is not None:
+            self._entry_count -= 1
+            if cached >= 0:
+                self._size_total -= cached
+            self._size_dirty.discard((descriptor.name, composite))
         self._memtable[composite] = _TOMBSTONE
         if len(self._memtable) >= self._memtable_limit:
             self._flush_memtable()
@@ -155,6 +182,56 @@ class LSMStateBackend(KeyedStateBackend):
 
     def descriptors(self) -> list[StateDescriptor]:
         return list(self._descriptors.values())
+
+    def snapshot(self) -> dict[str, dict[Any, bytes]]:
+        """Full snapshot via stats-free reads: checkpoint capture must not
+        perturb the access stats the task cost model charges for."""
+        out: dict[str, dict[Any, bytes]] = {}
+        for descriptor in self.descriptors():
+            name = descriptor.name
+            entries = {}
+            for composite, key in list(self._key_index[name].items()):
+                value = self._lookup(composite)
+                if value is not None:
+                    entries[key] = descriptor.serde.serialize(value)
+            out[name] = entries
+        return out
+
+    # --- incremental sizing ------------------------------------------------
+    def _lookup(self, composite: str) -> Any:
+        """Read a composite key without touching access stats (sizing path)."""
+        if composite in self._memtable:
+            value = self._memtable[composite]
+            return None if value is _TOMBSTONE else value
+        for run in self._runs:
+            value = run.get(composite)
+            if value is not None:
+                return None if value is _TOMBSTONE else value
+        return None
+
+    def _flush_sizes(self) -> None:
+        """Re-serialize entries rewritten since the last sizing query."""
+        if not self._size_dirty:
+            return
+        for name, composite in self._size_dirty:
+            sizes = self._live_sizes[name]
+            if sizes.get(composite) != self._DIRTY_SIZE:
+                continue  # deleted since it was marked
+            value = self._lookup(composite)
+            size = 0 if value is None else len(self._descriptors[name].serde.serialize(value))
+            sizes[composite] = size
+            self._size_total += size
+        self._size_dirty.clear()
+
+    def total_entries(self) -> int:
+        """Live (descriptor, key) pairs, from O(1) incremental accounting."""
+        return self._entry_count
+
+    def snapshot_bytes(self) -> int:
+        """Serialized snapshot volume from the incremental size cache: only
+        entries written since the previous call are re-serialized."""
+        self._flush_sizes()
+        return self._size_total
 
     # ------------------------------------------------------------------
     @property

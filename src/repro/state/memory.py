@@ -19,6 +19,11 @@ class InMemoryStateBackend(KeyedStateBackend):
     Optionally time-aware: pass a ``clock`` callable to enforce descriptor
     TTLs lazily on read (expired entries are dropped when touched, the same
     lazy policy RocksDB-backed engines use).
+
+    Sizing is maintained incrementally: writes mark entries dirty in O(1)
+    and :meth:`snapshot_bytes` re-serializes only the entries touched since
+    the previous call, so repeated sizing queries on the checkpoint path are
+    O(churn), not O(state).
     """
 
     read_latency = 0.0
@@ -31,11 +36,22 @@ class InMemoryStateBackend(KeyedStateBackend):
         self._data: dict[str, dict[Any, Any]] = {}
         self._write_times: dict[str, dict[Any, float]] = {}
         self._descriptors: dict[str, StateDescriptor] = {}
+        # incremental sizing accounting (satellite of E5's cost model):
+        # entry count is exact; serialized sizes are cached per entry and
+        # re-computed lazily for entries written since the last query
+        self._entry_count = 0
+        self._size_total = 0
+        self._sizes: dict[str, dict[Any, int]] = {}
+        self._size_dirty: set[tuple[str, Any]] = set()
+        self._has_ttl = False
 
     def register(self, descriptor: StateDescriptor) -> None:
         self._descriptors.setdefault(descriptor.name, descriptor)
         self._data.setdefault(descriptor.name, {})
         self._write_times.setdefault(descriptor.name, {})
+        self._sizes.setdefault(descriptor.name, {})
+        if descriptor.ttl is not None:
+            self._has_ttl = True
 
     def _expired(self, descriptor: StateDescriptor, key: Any) -> bool:
         if descriptor.ttl is None or self._clock is None:
@@ -45,36 +61,68 @@ class InMemoryStateBackend(KeyedStateBackend):
             return False
         return self._clock() - written > descriptor.ttl
 
+    def _drop(self, name: str, key: Any) -> None:
+        """Remove one entry, keeping the sizing accounting consistent."""
+        if key in self._data[name]:
+            self._entry_count -= 1
+            self._size_total -= self._sizes[name].pop(key, 0)
+            self._size_dirty.discard((name, key))
+            self._data[name].pop(key, None)
+        self._write_times[name].pop(key, None)
+
     def get(self, descriptor: StateDescriptor, key: Any) -> Any:
         self.register(descriptor)
         self.stats.reads += 1
         if self._expired(descriptor, key):
-            self._data[descriptor.name].pop(key, None)
-            self._write_times[descriptor.name].pop(key, None)
+            self._drop(descriptor.name, key)
             return None
         return self._data[descriptor.name].get(key)
 
     def put(self, descriptor: StateDescriptor, key: Any, value: Any) -> None:
         self.register(descriptor)
         self.stats.writes += 1
-        self._data[descriptor.name][key] = value
+        name = descriptor.name
+        if key not in self._data[name]:
+            self._entry_count += 1
+        else:
+            self._size_total -= self._sizes[name].pop(key, 0)
+        self._size_dirty.add((name, key))
+        self._data[name][key] = value
         if self._clock is not None:
-            self._write_times[descriptor.name][key] = self._clock()
+            self._write_times[name][key] = self._clock()
 
     def delete(self, descriptor: StateDescriptor, key: Any) -> None:
         self.register(descriptor)
         self.stats.writes += 1
-        self._data[descriptor.name].pop(key, None)
-        self._write_times[descriptor.name].pop(key, None)
+        self._drop(descriptor.name, key)
 
     def keys(self, descriptor: StateDescriptor) -> Iterator[Any]:
         self.register(descriptor)
         for key in list(self._data[descriptor.name].keys()):
-            if not self._expired(descriptor, key):
+            if self._expired(descriptor, key):
+                self._drop(descriptor.name, key)
+            else:
                 yield key
 
     def descriptors(self) -> list[StateDescriptor]:
         return list(self._descriptors.values())
+
+    def snapshot(self) -> dict[str, dict[Any, bytes]]:
+        """Full snapshot via direct reads: checkpoint capture must not
+        perturb the access stats the task cost model charges for."""
+        out: dict[str, dict[Any, bytes]] = {}
+        for descriptor in self.descriptors():
+            name = descriptor.name
+            entries = {}
+            for key in list(self._data[name].keys()):
+                if self._expired(descriptor, key):
+                    self._drop(name, key)
+                    continue
+                value = self._data[name].get(key)
+                if value is not None:
+                    entries[key] = descriptor.serde.serialize(value)
+            out[name] = entries
+        return out
 
     def sweep_expired(self) -> int:
         """Eagerly drop all expired entries; returns the count removed."""
@@ -82,7 +130,35 @@ class InMemoryStateBackend(KeyedStateBackend):
         for descriptor in self.descriptors():
             for key in list(self._data[descriptor.name].keys()):
                 if self._expired(descriptor, key):
-                    self._data[descriptor.name].pop(key, None)
-                    self._write_times[descriptor.name].pop(key, None)
+                    self._drop(descriptor.name, key)
                     removed += 1
         return removed
+
+    # --- incremental sizing ------------------------------------------------
+    def _flush_sizes(self) -> None:
+        """Serialize entries written since the last sizing query (O(churn))."""
+        if self._has_ttl and self._clock is not None:
+            self.sweep_expired()
+        if not self._size_dirty:
+            return
+        for name, key in self._size_dirty:
+            value = self._data.get(name, {}).get(key)
+            if value is None:
+                continue  # deleted/expired entries already left the total
+            descriptor = self._descriptors[name]
+            size = len(descriptor.serde.serialize(value))
+            self._sizes[name][key] = size
+            self._size_total += size
+        self._size_dirty.clear()
+
+    def total_entries(self) -> int:
+        """Live (descriptor, key) pairs, from O(1) incremental accounting."""
+        if self._has_ttl and self._clock is not None:
+            self.sweep_expired()
+        return self._entry_count
+
+    def snapshot_bytes(self) -> int:
+        """Serialized snapshot volume from the incremental size cache: only
+        entries written since the previous call are re-serialized."""
+        self._flush_sizes()
+        return self._size_total

@@ -1,0 +1,154 @@
+"""Incremental sizing accounting: ``total_entries`` / ``snapshot_bytes`` stay
+exact under puts, deletes, overwrites, TTL expiry, LSM flushes/compactions,
+and clearing restores — without rescanning state on every query."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checkpoint import IncrementalSnapshotter
+from repro.state import (
+    Changelog,
+    ChangelogStateBackend,
+    InMemoryStateBackend,
+    LSMStateBackend,
+    ValueStateDescriptor,
+)
+
+DESC = ValueStateDescriptor("v")
+OTHER = ValueStateDescriptor("w")
+
+SIZED_FACTORIES = [
+    ("memory", InMemoryStateBackend),
+    ("lsm", lambda: LSMStateBackend(memtable_limit=4, compaction_fanout=3)),
+    ("changelog", lambda: ChangelogStateBackend(InMemoryStateBackend(), Changelog())),
+    ("wrapped", lambda: IncrementalSnapshotter(InMemoryStateBackend())),
+]
+
+
+@pytest.fixture(params=SIZED_FACTORIES, ids=[n for n, _f in SIZED_FACTORIES])
+def backend(request):
+    backend = request.param[1]()
+    backend.register(DESC)
+    backend.register(OTHER)
+    return backend
+
+
+def brute_entries(backend):
+    return sum(len(entries) for entries in backend.snapshot().values())
+
+
+def brute_bytes(backend):
+    return sum(
+        len(data) for entries in backend.snapshot().values() for data in entries.values()
+    )
+
+
+def check(backend):
+    assert backend.total_entries() == brute_entries(backend)
+    assert backend.snapshot_bytes() == brute_bytes(backend)
+
+
+class TestAccounting:
+    def test_empty(self, backend):
+        assert backend.total_entries() == 0
+        assert backend.snapshot_bytes() == 0
+
+    def test_puts_and_overwrites(self, backend):
+        for key in range(10):
+            backend.put(DESC, key, "x" * key)
+        check(backend)
+        backend.put(DESC, 3, "much longer value than before")
+        backend.put(OTHER, 3, [1, 2, 3])
+        check(backend)
+
+    def test_deletes(self, backend):
+        for key in range(10):
+            backend.put(DESC, key, key)
+        backend.delete(DESC, 3)
+        backend.delete(DESC, 3)  # double delete must not go negative
+        backend.delete(DESC, 99)  # missing key is a no-op
+        check(backend)
+        assert backend.total_entries() == 9
+
+    def test_clear_all_resets(self, backend):
+        for key in range(5):
+            backend.put(DESC, key, key)
+        backend.clear_all()
+        assert backend.total_entries() == 0
+        assert backend.snapshot_bytes() == 0
+
+    def test_restore_replaces_counts(self, backend):
+        backend.put(DESC, "old", "stale")
+        donor = InMemoryStateBackend()
+        donor.register(DESC)
+        donor.put(DESC, "a", 1)
+        donor.put(DESC, "b", 2)
+        backend.restore(donor.snapshot())
+        check(backend)
+        assert backend.total_entries() == 2
+        assert backend.get(DESC, "old") is None
+
+    def test_merge_overlays_counts(self, backend):
+        backend.put(DESC, "kept", "here")
+        donor = InMemoryStateBackend()
+        donor.register(DESC)
+        donor.put(DESC, "a", 1)
+        backend.merge(donor.snapshot())
+        check(backend)
+        assert backend.total_entries() == 2
+        assert backend.get(DESC, "kept") == "here"
+
+
+class TestLSMStructural:
+    def test_counts_survive_flush_and_compaction(self):
+        lsm = LSMStateBackend(memtable_limit=2, compaction_fanout=2)
+        for key in range(20):
+            lsm.put(DESC, key, str(key))
+        for key in range(0, 20, 2):
+            lsm.delete(DESC, key)
+        for key in range(5):
+            lsm.put(DESC, key, "rewritten")
+        check(lsm)
+        # sizing reflects the live set, not flushed SST contents
+        assert lsm.total_entries() == len(list(lsm.keys(DESC)))
+
+
+class TestTTLExpiry:
+    def test_expired_entries_leave_the_accounting(self):
+        clock = {"now": 0.0}
+        backend = InMemoryStateBackend(clock=lambda: clock["now"])
+        desc = ValueStateDescriptor("ttl", ttl=1.0)
+        backend.register(desc)
+        for key in range(4):
+            backend.put(desc, key, key)
+        assert backend.total_entries() == 4
+        clock["now"] = 2.0
+        backend.put(desc, "fresh", 1)
+        assert backend.total_entries() == 1
+        assert backend.snapshot_bytes() == brute_bytes(backend)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["put", "delete"]),
+            st.integers(min_value=0, max_value=8),
+            st.text(max_size=12),
+        ),
+        max_size=80,
+    )
+)
+def test_accounting_matches_brute_force(ops):
+    """Property: after any op sequence the O(1) accounting equals a full
+    recomputation from ``snapshot()`` — for both flat and LSM layouts."""
+    backends = [InMemoryStateBackend(), LSMStateBackend(memtable_limit=3)]
+    for backend in backends:
+        backend.register(DESC)
+        for op, key, value in ops:
+            if op == "put":
+                backend.put(DESC, key, value)
+            else:
+                backend.delete(DESC, key)
+        check(backend)
