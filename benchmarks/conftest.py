@@ -10,10 +10,35 @@ paper (see DESIGN.md's per-experiment index). Conventions:
   honest — they fail if the reproduced trend disappears.
 """
 
+import json
 import os
 import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tests"))
+
+
+def merge_bench_json(path: str, section: str, payload: dict) -> None:
+    """Read-modify-write one section of a shared ``BENCH_*.json`` exhibit.
+
+    Several benchmarks contribute to the same file (e.g. fast-path and
+    columnar rows both land in ``BENCH_throughput.json``); overwriting the
+    whole file from one of them would silently drop the others' sections."""
+    data = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                existing = json.load(fh)
+            if isinstance(existing, dict):
+                data = existing
+        except (json.JSONDecodeError, OSError):
+            data = {}
+    if "benchmark" in data:
+        # Legacy single-payload layout: nest it under its own name.
+        data = {data.get("benchmark", "legacy"): data}
+    data[section] = payload
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2)
+        fh.write("\n")
 
 
 def print_table(title: str, headers: list, rows: list) -> None:

@@ -10,11 +10,10 @@ tracked across PRs; the assertion pins the headline claim — at least a
 2x wall-clock speedup with chaining + batching enabled.
 """
 
-import json
 import os
 import time
 
-from conftest import fmt, print_table
+from conftest import fmt, merge_bench_json, print_table
 
 from repro.core.datastream import StreamExecutionEnvironment
 from repro.io import CollectSink, SensorWorkload
@@ -104,9 +103,7 @@ def test_throughput_fastpath(benchmark):
         "speedup_fastpath_vs_seed": round(speedup, 2),
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
-    with open(BENCH_PATH, "w") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+    merge_bench_json(BENCH_PATH, "throughput_fastpath", payload)
 
     # The headline claim: chaining + batching at least doubles wall-clock
     # throughput over the seed dispatch path.

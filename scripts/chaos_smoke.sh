@@ -5,9 +5,10 @@
 # capped at ~30 seconds of wall clock per mode. Any oracle violation
 # prints a copy-pasteable minimal reproducer and fails the script.
 # Usage: scripts/chaos_smoke.sh [--seed N] [--schedules K]
-#          [--mode default|supervised|both] [--obs] [--incremental]
+#          [--mode default|supervised|both] [--obs] [--incremental] [--columnar]
 # --obs runs with latency markers + tracing on; --incremental checkpoints
-# via base+delta chains — neither may change any verdict.
+# via base+delta chains; --columnar transports record-batches end to end —
+# none of the three may change any verdict.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -32,7 +32,7 @@ from repro.chaos.schedule import (
     FaultSchedule,
     FaultSpec,
 )
-from repro.core.events import CheckpointBarrier, Record, StreamElement
+from repro.core.events import CheckpointBarrier, Record, RecordBatch, StreamElement
 from repro.errors import RecoveryError
 from repro.fault.injection import FailureEvent, FailureInjector
 from repro.runtime.config import GuaranteeLevel
@@ -43,6 +43,19 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.channel import PhysicalChannel
     from repro.runtime.engine import Engine
     from repro.sim.kernel import Kernel
+
+
+#: element classes the record-perturbing faults apply to — a columnar batch
+#: is one transport unit, so it is dropped/duplicated/delayed/reordered
+#: wholesale, exactly like the single record it replaces.
+_DATA = (Record, RecordBatch)
+
+
+def _describe(element: StreamElement) -> str:
+    """Stable log label for a data element (schedule-replay determinism)."""
+    if isinstance(element, RecordBatch):
+        return f"batch[{len(element)}]"
+    return repr(element.value)
 
 
 class _ArmedFault:
@@ -66,8 +79,8 @@ class ChannelFaultHook:
         self._kernel = kernel
         self._log = log
         self._faults: list[_ArmedFault] = []
-        #: record held back by an active reorder fault, if any
-        self._held: Record | None = None
+        #: data element (record or batch) held back by an active reorder fault
+        self._held: Record | RecordBatch | None = None
 
     def add(self, spec: FaultSpec) -> None:
         """Arm one fault on this channel."""
@@ -81,7 +94,7 @@ class ChannelFaultHook:
         are what the channel actually schedules (empty = drop/hold)."""
         now = self._kernel.now()
         prefix: list[tuple[StreamElement, float]] = []
-        if self._held is not None and not isinstance(element, Record):
+        if self._held is not None and not isinstance(element, _DATA):
             # Control element: flush the held record first so reordering
             # never crosses watermarks, barriers, or end-of-stream.
             prefix.append((self._held, 0.0))
@@ -97,21 +110,21 @@ class ChannelFaultHook:
                 self._log(BARRIER_LOSS, f"checkpoint {element.checkpoint_id}")
                 channel.return_credit()
                 return prefix
-            if not isinstance(element, Record):
-                continue  # remaining kinds perturb data records only
+            if not isinstance(element, _DATA):
+                continue  # remaining kinds perturb data elements only
             if spec.kind == DROP:
                 armed.remaining -= 1
-                self._log(DROP, repr(element.value))
+                self._log(DROP, _describe(element))
                 channel.return_credit()
                 return prefix
             if spec.kind == DUPLICATE:
                 armed.remaining -= 1
-                self._log(DUPLICATE, repr(element.value))
+                self._log(DUPLICATE, _describe(element))
                 channel.inject_out_of_band(element)
                 return prefix + [(element, 0.0)]
             if spec.kind == DELAY:
                 armed.remaining -= 1
-                self._log(DELAY, f"{element.value!r} +{spec.magnitude:.6g}s")
+                self._log(DELAY, f"{_describe(element)} +{spec.magnitude:.6g}s")
                 return prefix + [(element, spec.magnitude)]
             if spec.kind == REORDER:
                 if self._held is None:
@@ -120,11 +133,13 @@ class ChannelFaultHook:
                     return prefix
                 held, self._held = self._held, None
                 armed.remaining -= 1
-                self._log(REORDER, f"{held.value!r} after {element.value!r}")
+                self._log(REORDER, f"{_describe(held)} after {_describe(element)}")
                 return prefix + [(element, 0.0), (held, 0.0)]
         return prefix + [(element, 0.0)]
 
-    def _arm_flush(self, channel: "PhysicalChannel", element: Record, bound: float) -> None:
+    def _arm_flush(
+        self, channel: "PhysicalChannel", element: Record | RecordBatch, bound: float
+    ) -> None:
         """Bound the hold-back: if nothing else is sent within ``bound``
         virtual seconds, the held record is released unswapped."""
 

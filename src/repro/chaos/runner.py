@@ -97,6 +97,7 @@ class ChaosRunner:
         supervisor_config_factory: Callable[[], SupervisorConfig] | None = None,
         observability: bool = False,
         incremental: bool = False,
+        columnar: bool = False,
     ) -> None:
         self.scenario = scenario
         self.seed = seed
@@ -115,6 +116,10 @@ class ChaosRunner:
         #: checkpoint via incremental base+delta chains instead of full
         #: snapshots — recovery mechanics change, verdicts must not
         self.incremental = incremental
+        #: transport record-batches end to end (columnar execution) — the
+        #: unit of perturbation grows from record to batch, verdicts and
+        #: consolidated outputs must not change
+        self.columnar = columnar
 
     # ------------------------------------------------------------------
     def run_one(
@@ -134,6 +139,9 @@ class ChaosRunner:
             config.trace_sample_rate = 0.05
         if self.incremental and config.checkpoints is not None:
             config.checkpoints.incremental = True
+        if self.columnar:
+            config.columnar_enabled = True
+            config.columnar_batch_size = 32
         run = self.scenario.build(config)
         engine = run.engine
         if schedule is None:

@@ -57,6 +57,12 @@ def main(argv: list[str] | None = None) -> int:
         help="checkpoint with incremental base+delta chains (recovery "
         "mechanics change, verdicts must not)",
     )
+    parser.add_argument(
+        "--columnar",
+        action="store_true",
+        help="transport record-batches end to end (columnar execution; "
+        "the perturbation unit grows, verdicts must not change)",
+    )
     args = parser.parse_args(argv)
 
     modes = ("default", "supervised") if args.mode == "both" else (args.mode,)
@@ -75,6 +81,7 @@ def main(argv: list[str] | None = None) -> int:
                 supervised=supervised,
                 observability=args.obs,
                 incremental=args.incremental,
+                columnar=args.columnar,
             )
             for flags in runner.matrix:
                 for index in range(args.schedules):

@@ -15,6 +15,7 @@ from repro.core.events import (
     LatencyMarker,
     Punctuation,
     Record,
+    RecordBatch,
     StreamElement,
     Watermark,
     record,
@@ -49,6 +50,7 @@ __all__ = [
     "PickleSerde",
     "Punctuation",
     "Record",
+    "RecordBatch",
     "Serde",
     "StreamElement",
     "StreamExecutionEnvironment",

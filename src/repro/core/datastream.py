@@ -150,13 +150,36 @@ class DataStream:
     # ------------------------------------------------------------------
     # transformations
     # ------------------------------------------------------------------
-    def map(self, fn: Callable[[Any], Any], name: str = "map", **kwargs: Any) -> "DataStream":
-        """Transform each value with ``fn``."""
-        return self._connect(name, lambda: MapOperator(fn, name), **kwargs)
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        name: str = "map",
+        batch_fn: Callable[[list], list] | None = None,
+        **kwargs: Any,
+    ) -> "DataStream":
+        """Transform each value with ``fn``.
 
-    def filter(self, predicate: Callable[[Any], bool], name: str = "filter", **kwargs: Any) -> "DataStream":
-        """Keep values satisfying ``predicate``."""
-        return self._connect(name, lambda: FilterOperator(predicate, name), **kwargs)
+        ``batch_fn(values) -> values`` vectorizes the columnar path; it must
+        produce exactly ``[fn(v) for v in values]``.
+        """
+        return self._connect(name, lambda: MapOperator(fn, name, batch_fn=batch_fn), **kwargs)
+
+    def filter(
+        self,
+        predicate: Callable[[Any], bool],
+        name: str = "filter",
+        batch_predicate: Callable[[list], Any] | None = None,
+        **kwargs: Any,
+    ) -> "DataStream":
+        """Keep values satisfying ``predicate``.
+
+        ``batch_predicate(values) -> mask`` vectorizes the columnar path; it
+        must keep exactly the rows ``predicate`` keeps, and may raise to fall
+        back to the scalar predicate.
+        """
+        return self._connect(
+            name, lambda: FilterOperator(predicate, name, batch_predicate=batch_predicate), **kwargs
+        )
 
     def flat_map(self, fn: Callable[[Any], Iterable[Any]], name: str = "flat_map", **kwargs: Any) -> "DataStream":
         """Expand each value into zero or more values."""

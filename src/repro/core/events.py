@@ -82,6 +82,146 @@ class Record(StreamElement):
         return self.sign < 0
 
 
+class RecordBatch(StreamElement):
+    """A columnar run of records travelling as one stream element.
+
+    The columnar execution path (``EngineConfig.columnar_enabled``) moves
+    records through channels and operators as batches: one mailbox item, one
+    credit, one dispatch — with per-record payloads kept in parallel columns
+    so vectorized operators can work on whole arrays. A batch is exactly
+    equivalent to the sequence ``list(batch.records())``; operators without a
+    vectorized path explode it record-by-record and rebuild (see
+    ``Operator.process_batch``), so any plan still runs.
+
+    Columns:
+        values: per-record payloads (always present).
+        event_times: per-record event times, or ``None`` when the whole
+            batch has no event-time semantics.
+        keys: per-record partitioning keys, or ``None`` for all-``None``.
+        signs: per-record z-set signs, or ``None`` for all ``+1``.
+        ingest_times: per-record pipeline entry times, or ``None``.
+
+    Batches never straddle control elements: sources close the open batch
+    before emitting watermarks, barriers, markers, or EOS, and tasks process
+    a batch atomically, so checkpoint alignment and progress tracking see
+    exactly the element order the scalar path would.
+    """
+
+    __slots__ = ("values", "event_times", "keys", "signs", "ingest_times")
+
+    def __init__(
+        self,
+        values: list,
+        event_times: list | None = None,
+        keys: list | None = None,
+        signs: list | None = None,
+        ingest_times: list | None = None,
+    ) -> None:
+        self.values = values
+        self.event_times = event_times
+        self.keys = keys
+        self.signs = signs
+        self.ingest_times = ingest_times
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RecordBatch(n={len(self.values)})"
+
+    # --- row access -------------------------------------------------------
+    def record_at(self, i: int) -> "Record":
+        """The ``i``-th row as a scalar :class:`Record` (field-for-field)."""
+        return Record(
+            value=self.values[i],
+            event_time=self.event_times[i] if self.event_times is not None else None,
+            key=self.keys[i] if self.keys is not None else None,
+            sign=self.signs[i] if self.signs is not None else 1,
+            ingest_time=self.ingest_times[i] if self.ingest_times is not None else None,
+        )
+
+    def records(self):
+        """Iterate rows as scalar records (the explode half of the fallback)."""
+        for i in range(len(self.values)):
+            yield self.record_at(i)
+
+    def iter_keys(self):
+        """Per-row keys (``None`` column expands to ``None`` per row)."""
+        if self.keys is None:
+            return iter([None] * len(self.values))
+        return iter(self.keys)
+
+    # --- construction -----------------------------------------------------
+    @classmethod
+    def from_records(cls, records: list) -> "RecordBatch":
+        """Rebuild a batch from scalar records (the other fallback half)."""
+        values = [r.value for r in records]
+        event_times = [r.event_time for r in records]
+        keys = [r.key for r in records]
+        signs = [r.sign for r in records]
+        ingest_times = [r.ingest_time for r in records]
+        return cls(
+            values=values,
+            event_times=None if all(t is None for t in event_times) else event_times,
+            keys=None if all(k is None for k in keys) else keys,
+            signs=None if all(s == 1 for s in signs) else signs,
+            ingest_times=None if all(t is None for t in ingest_times) else ingest_times,
+        )
+
+    # --- columnar transforms ---------------------------------------------
+    def _take(self, column: list | None, indices: list[int]) -> list | None:
+        if column is None:
+            return None
+        return [column[i] for i in indices]
+
+    def select(self, indices: list[int]) -> "RecordBatch":
+        """A new batch keeping only the given row indices, in order."""
+        return RecordBatch(
+            values=[self.values[i] for i in indices],
+            event_times=self._take(self.event_times, indices),
+            keys=self._take(self.keys, indices),
+            signs=self._take(self.signs, indices),
+            ingest_times=self._take(self.ingest_times, indices),
+        )
+
+    def select_mask(self, mask) -> "RecordBatch":
+        """``select`` driven by a boolean mask (any sequence of truthy flags)."""
+        return self.select([i for i, keep in enumerate(mask) if keep])
+
+    def with_values(self, values: list) -> "RecordBatch":
+        """Same rows, new payload column (map semantics)."""
+        if len(values) != len(self.values):
+            raise ValueError("with_values must preserve row count")
+        return RecordBatch(
+            values=list(values),
+            event_times=self.event_times,
+            keys=self.keys,
+            signs=self.signs,
+            ingest_times=self.ingest_times,
+        )
+
+    def with_keys(self, keys: list) -> "RecordBatch":
+        """Same rows, new key column (key_by semantics)."""
+        return RecordBatch(
+            values=self.values,
+            event_times=self.event_times,
+            keys=list(keys),
+            signs=self.signs,
+            ingest_times=self.ingest_times,
+        )
+
+    def replicate(self, indices: list[int], values: list) -> "RecordBatch":
+        """Expansion (flat_map): output row ``j`` inherits the timestamp/key/
+        sign/ingest columns of input row ``indices[j]`` with ``values[j]``."""
+        return RecordBatch(
+            values=list(values),
+            event_times=self._take(self.event_times, indices),
+            keys=self._take(self.keys, indices),
+            signs=self._take(self.signs, indices),
+            ingest_times=self._take(self.ingest_times, indices),
+        )
+
+
 @dataclass(frozen=True)
 class Watermark(StreamElement):
     """Asserts that no record with ``event_time <= timestamp`` is still coming.

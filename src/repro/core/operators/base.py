@@ -19,6 +19,7 @@ from repro.core.events import (
     LatencyMarker,
     Punctuation,
     Record,
+    RecordBatch,
     StreamElement,
     Watermark,
 )
@@ -97,6 +98,20 @@ class OperatorContext:
     def current_key(self) -> Any:
         raise NotImplementedError
 
+    def set_current_key(self, key: Any) -> None:
+        """Scope keyed state to ``key``.
+
+        The runtime sets the key from each record before calling
+        ``process``; batch-aware operators (and the scalar fallback) call
+        this per row/group before touching state. The default follows the
+        ``current_key_value`` attribute convention shared by the runtime
+        context and test stubs; contexts without it ignore the call.
+        """
+        try:
+            self.current_key_value = key
+        except AttributeError:  # pragma: no cover - slotted custom contexts
+            pass
+
     def state(self, descriptor: "StateDescriptor") -> Any:
         """Return the keyed state handle for ``descriptor`` under the
         current key (set by the runtime from the record being processed)."""
@@ -141,6 +156,104 @@ class _NullScope:
 _NULL_SCOPE = _NullScope()
 
 
+class _BatchCollector(OperatorContext):
+    """Context proxy backing the scalar fallback of ``process_batch``.
+
+    Buffers ``emit`` calls so consecutive records rebuild into one
+    :class:`RecordBatch` while control elements stay in their emitted
+    position; every other context service passes straight through to the
+    real runtime context.
+    """
+
+    __slots__ = ("_parent", "_out")
+
+    def __init__(self, parent: OperatorContext) -> None:
+        self._parent = parent
+        self._out: list[StreamElement] = []
+
+    # --- buffered output --------------------------------------------------
+    def emit(self, element: StreamElement) -> None:
+        self._out.append(element)
+
+    def flush(self) -> None:
+        """Re-batch buffered records and forward everything to the parent."""
+        parent = self._parent
+        out = self._out
+        run: list[Record] = []
+        for element in out:
+            if isinstance(element, Record):
+                run.append(element)
+                continue
+            if run:
+                parent.emit(_rebatch(run))
+                run = []
+            parent.emit(element)
+        if run:
+            parent.emit(_rebatch(run))
+        out.clear()
+
+    # --- passthrough ------------------------------------------------------
+    @property
+    def current_key_value(self) -> Any:
+        return getattr(self._parent, "current_key_value", None)
+
+    @property
+    def task_name(self) -> str:
+        return self._parent.task_name
+
+    @property
+    def subtask_index(self) -> int:
+        return self._parent.subtask_index
+
+    @property
+    def parallelism(self) -> int:
+        return self._parent.parallelism
+
+    def emit_to(self, tag: str, element: StreamElement) -> None:
+        self._parent.emit_to(tag, element)
+
+    def processing_time(self) -> float:
+        return self._parent.processing_time()
+
+    def current_watermark(self) -> float:
+        return self._parent.current_watermark()
+
+    def register_event_timer(self, timestamp: float, payload: Any = None) -> None:
+        self._parent.register_event_timer(timestamp, payload)
+
+    def register_processing_timer(self, timestamp: float, payload: Any = None) -> None:
+        self._parent.register_processing_timer(timestamp, payload)
+
+    @property
+    def current_key(self) -> Any:
+        return self._parent.current_key
+
+    def set_current_key(self, key: Any) -> None:
+        self._parent.set_current_key(key)
+
+    def state(self, descriptor: "StateDescriptor") -> Any:
+        return self._parent.state(descriptor)
+
+    def operator_state(self, name: str, default: Any = None) -> Any:
+        return self._parent.operator_state(name, default)
+
+    def set_operator_state(self, name: str, value: Any) -> None:
+        self._parent.set_operator_state(name, value)
+
+    def add_cost(self, seconds: float) -> None:
+        self._parent.add_cost(seconds)
+
+    def profile(self, label: str) -> Any:
+        return self._parent.profile(label)
+
+
+def _rebatch(records: list[Record]) -> StreamElement:
+    """One record stays scalar; a run becomes a batch."""
+    if len(records) == 1:
+        return records[0]
+    return RecordBatch.from_records(records)
+
+
 class Operator:
     """Base class for all dataflow operators.
 
@@ -163,6 +276,8 @@ class Operator:
         """Dispatch an incoming element to the typed handler."""
         if isinstance(element, Record):
             self.process(element, ctx)
+        elif isinstance(element, RecordBatch):
+            self.process_batch(element, ctx)
         elif isinstance(element, Watermark):
             self.on_watermark(element, ctx)
         elif isinstance(element, Punctuation):
@@ -186,6 +301,23 @@ class Operator:
     def process(self, record: Record, ctx: OperatorContext) -> None:
         """Handle one data record. Subclasses almost always override this."""
         ctx.emit(record)
+
+    def process_batch(self, batch: RecordBatch, ctx: OperatorContext) -> None:
+        """Handle a columnar batch of records.
+
+        The default is the *scalar fallback*: explode the batch, run
+        ``process`` per record with the key scoped exactly as the scalar
+        runtime would, and rebuild consecutive emitted records into batches
+        (control elements emitted in between keep their position). Operators
+        with a vectorized implementation override this.
+        """
+        collector = _BatchCollector(ctx)
+        set_key = ctx.set_current_key
+        process = self.process
+        for record in batch.records():
+            set_key(record.key)
+            process(record, collector)
+        collector.flush()
 
     def on_watermark(self, watermark: Watermark, ctx: OperatorContext) -> None:
         """Handle event-time progress; default forwards it downstream.

@@ -9,20 +9,39 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable
 
-from repro.core.events import Record, StreamElement
+from repro.core.events import Record, RecordBatch, StreamElement
 from repro.core.operators.base import Operator, OperatorContext
 from repro.state.api import ValueStateDescriptor
 
 
 class MapOperator(Operator):
-    """Applies ``fn`` to each record value, preserving time and key."""
+    """Applies ``fn`` to each record value, preserving time and key.
 
-    def __init__(self, fn: Callable[[Any], Any], name: str = "map") -> None:
+    ``batch_fn``, when given, is a vectorized kernel taking the whole value
+    column (a list) and returning the transformed column — used by the
+    columnar path to avoid the per-element Python call.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        name: str = "map",
+        batch_fn: Callable[[list], Iterable[Any]] | None = None,
+    ) -> None:
         self._fn = fn
+        self._batch_fn = batch_fn
         self._name = name
 
     def process(self, record: Record, ctx: OperatorContext) -> None:
         ctx.emit(record.with_value(self._fn(record.value)))
+
+    def process_batch(self, batch: RecordBatch, ctx: OperatorContext) -> None:
+        if self._batch_fn is not None:
+            values = list(self._batch_fn(batch.values))
+        else:
+            fn = self._fn
+            values = [fn(v) for v in batch.values]
+        ctx.emit(batch.with_values(values))
 
     @property
     def name(self) -> str:
@@ -30,15 +49,47 @@ class MapOperator(Operator):
 
 
 class FilterOperator(Operator):
-    """Keeps records whose value satisfies ``predicate``."""
+    """Keeps records whose value satisfies ``predicate``.
 
-    def __init__(self, predicate: Callable[[Any], bool], name: str = "filter") -> None:
+    ``batch_predicate``, when given, takes the whole value column and
+    returns a boolean mask (any sequence of truthy flags) — e.g. a CQL
+    WHERE clause compiled to a NumPy mask. It must select exactly the rows
+    the scalar predicate would; if it raises, the batch falls back to the
+    scalar predicate row by row.
+    """
+
+    def __init__(
+        self,
+        predicate: Callable[[Any], bool],
+        name: str = "filter",
+        batch_predicate: Callable[[list], Any] | None = None,
+    ) -> None:
         self._predicate = predicate
+        self._batch_predicate = batch_predicate
         self._name = name
 
     def process(self, record: Record, ctx: OperatorContext) -> None:
         if self._predicate(record.value):
             ctx.emit(record)
+
+    def process_batch(self, batch: RecordBatch, ctx: OperatorContext) -> None:
+        mask = None
+        if self._batch_predicate is not None:
+            try:
+                mask = self._batch_predicate(batch.values)
+            except Exception:
+                mask = None
+        if mask is not None:
+            keep = [i for i, flag in enumerate(mask) if flag]
+        else:
+            predicate = self._predicate
+            keep = [i for i, v in enumerate(batch.values) if predicate(v)]
+        if not keep:
+            return
+        if len(keep) == len(batch):
+            ctx.emit(batch)
+        else:
+            ctx.emit(batch.select(keep))
 
     @property
     def name(self) -> str:
@@ -55,6 +106,17 @@ class FlatMapOperator(Operator):
     def process(self, record: Record, ctx: OperatorContext) -> None:
         for out in self._fn(record.value):
             ctx.emit(record.with_value(out))
+
+    def process_batch(self, batch: RecordBatch, ctx: OperatorContext) -> None:
+        fn = self._fn
+        values: list[Any] = []
+        origins: list[int] = []
+        for i, v in enumerate(batch.values):
+            for out in fn(v):
+                values.append(out)
+                origins.append(i)
+        if values:
+            ctx.emit(batch.replicate(origins, values))
 
     @property
     def name(self) -> str:
@@ -76,6 +138,10 @@ class KeyByOperator(Operator):
 
     def process(self, record: Record, ctx: OperatorContext) -> None:
         ctx.emit(record.with_key(self._selector(record.value)))
+
+    def process_batch(self, batch: RecordBatch, ctx: OperatorContext) -> None:
+        selector = self._selector
+        ctx.emit(batch.with_keys([selector(v) for v in batch.values]))
 
     @property
     def name(self) -> str:
@@ -105,6 +171,36 @@ class ReduceOperator(Operator):
         merged = record.value if current is None else self._fn(current, record.value)
         state.update(merged)
         ctx.emit(record.with_value(merged))
+
+    def process_batch(self, batch: RecordBatch, ctx: OperatorContext) -> None:
+        # Group rows by key so each key pays one state read + one write per
+        # batch instead of one per record; the running aggregate is still
+        # folded sequentially in row order, so per-record outputs (and float
+        # accumulation order) are byte-identical to the scalar path.
+        values = batch.values
+        keys = batch.keys
+        signs = batch.signs
+        out = list(values)  # retraction rows pass through unchanged
+        groups: dict[Any, list[int]] = {}
+        for i in range(len(values)):
+            if signs is not None and signs[i] < 0:
+                continue
+            key = keys[i] if keys is not None else None
+            rows = groups.get(key)
+            if rows is None:
+                groups[key] = [i]
+            else:
+                rows.append(i)
+        fn = self._fn
+        for key, rows in groups.items():
+            ctx.set_current_key(key)
+            state = ctx.state(self._descriptor)
+            current = state.value()
+            for i in rows:
+                current = values[i] if current is None else fn(current, values[i])
+                out[i] = current
+            state.update(current)
+        ctx.emit(batch.with_values(out))
 
     @property
     def name(self) -> str:
@@ -139,6 +235,34 @@ class AggregatingOperator(Operator):
         acc = self._add(acc, record.value)
         state.update(acc)
         ctx.emit(record.with_value(self._result(acc)))
+
+    def process_batch(self, batch: RecordBatch, ctx: OperatorContext) -> None:
+        # Same grouping strategy as ReduceOperator: one state round-trip per
+        # key per batch, sequential fold preserving scalar output order.
+        values = batch.values
+        keys = batch.keys
+        out: list[Any] = list(values)
+        groups: dict[Any, list[int]] = {}
+        for i in range(len(values)):
+            key = keys[i] if keys is not None else None
+            rows = groups.get(key)
+            if rows is None:
+                groups[key] = [i]
+            else:
+                rows.append(i)
+        add = self._add
+        result = self._result
+        for key, rows in groups.items():
+            ctx.set_current_key(key)
+            state = ctx.state(self._descriptor)
+            acc = state.value()
+            if acc is None:
+                acc = self._create()
+            for i in rows:
+                acc = add(acc, values[i])
+                out[i] = result(acc)
+            state.update(acc)
+        ctx.emit(batch.with_values(out))
 
     @property
     def name(self) -> str:
@@ -186,6 +310,9 @@ class UnionOperator(Operator):
     def process(self, record: Record, ctx: OperatorContext) -> None:
         ctx.emit(record)
 
+    def process_batch(self, batch: RecordBatch, ctx: OperatorContext) -> None:
+        ctx.emit(batch)
+
     @property
     def name(self) -> str:
         return "union"
@@ -205,6 +332,15 @@ class SinkOperator(Operator):
 
     def process(self, record: Record, ctx: OperatorContext) -> None:
         self._sink.write(record, ctx)
+
+    def process_batch(self, batch: RecordBatch, ctx: OperatorContext) -> None:
+        write_batch = getattr(self._sink, "write_batch", None)
+        if write_batch is not None:
+            write_batch(batch, ctx)
+            return
+        write = self._sink.write
+        for record in batch.records():
+            write(record, ctx)
 
     def on_watermark(self, watermark, ctx: OperatorContext) -> None:
         handler = getattr(self._sink, "on_watermark", None)

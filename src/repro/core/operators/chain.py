@@ -35,6 +35,7 @@ from repro.core.events import (
     Heartbeat,
     Punctuation,
     Record,
+    RecordBatch,
     StreamElement,
     Watermark,
 )
@@ -98,6 +99,9 @@ class _LinkContext(OperatorContext):
     @property
     def current_key(self) -> Any:
         return self._parent.current_key
+
+    def set_current_key(self, key: Any) -> None:
+        self._parent.set_current_key(key)
 
     def state(self, descriptor: Any) -> Any:
         return self._parent.state(self._scope(descriptor))
@@ -188,6 +192,16 @@ class ChainedOperator(Operator):
             # state accesses must use the key of the record it is handling.
             ctx.current_key_value = element.key
             op.process(element, link)
+        elif isinstance(element, RecordBatch):
+            n = len(element)
+            self.member_records_in[index] += n
+            if index:
+                cost = self._extra_costs[index]
+                if cost:
+                    # Same per-member charge the scalar path pays, amortised
+                    # into one add_cost call for the whole batch.
+                    ctx.add_cost(cost * n)
+            op.process_batch(element, link)
         elif isinstance(element, Watermark):
             op.on_watermark(element, link)
         elif isinstance(element, Heartbeat):
@@ -229,6 +243,10 @@ class ChainedOperator(Operator):
     def process(self, record: Record, ctx: OperatorContext) -> None:
         self._bind(ctx)
         self._feed(0, record, ctx)
+
+    def process_batch(self, batch: RecordBatch, ctx: OperatorContext) -> None:
+        self._bind(ctx)
+        self._feed(0, batch, ctx)
 
     def on_watermark(self, watermark: Watermark, ctx: OperatorContext) -> None:
         self._bind(ctx)
@@ -278,6 +296,16 @@ class ChainedOperator(Operator):
             hook = getattr(op, "on_checkpoint", None)
             if hook is not None:
                 hook(checkpoint_id)
+
+    def on_barrier(self, checkpoint_id: int, ctx: OperatorContext) -> None:
+        """Pre-snapshot hook (see ``Task._snapshot_and_forward``): members
+        flushing buffered work emit through their link so the output still
+        traverses the rest of the chain ahead of the barrier."""
+        self._bind(ctx)
+        for op, link in zip(self.operators, self._links):
+            hook = getattr(op, "on_barrier", None)
+            if hook is not None:
+                hook(checkpoint_id, link)
 
     @property
     def name(self) -> str:

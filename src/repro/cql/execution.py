@@ -127,8 +127,14 @@ def compile_to_dataflow(
     stream = env.from_workload(workload, name=source_item.stream, watermarks=watermarks)
     binding = source_item.binding
     if query.where is not None:
+        from repro.cql.vectorized import compile_predicate
+
         where = query.where
-        stream = stream.filter(lambda v: bool(evaluate(where, {binding: v})), name="cql-where")
+        stream = stream.filter(
+            lambda v: bool(evaluate(where, {binding: v})),
+            name="cql-where",
+            batch_predicate=compile_predicate(where, binding),
+        )
     group_col = query.group_by[0]
     keyed = stream.key_by(field_selector(group_col.name), name="cql-group", parallelism=parallelism)
 

@@ -1,0 +1,113 @@
+"""CQL predicates compiled to NumPy masks for the columnar path.
+
+The dataflow bridge (:func:`repro.cql.execution.compile_to_dataflow`) plants
+a per-record ``WHERE`` filter into the plan. In columnar mode that predicate
+would otherwise run row-by-row inside the scalar fallback; this module
+compiles the supported expression subset — column references, literals,
+comparisons, arithmetic, ``AND``/``OR``/``NOT`` — into one function over the
+batch's value column that evaluates each leaf once per batch and combines
+whole arrays.
+
+Semantics contract: the mask must keep exactly the rows the scalar
+``evaluate(expr, {binding: value})`` call keeps. Anything outside the subset
+(aggregates, foreign bindings) compiles to ``None`` and the filter keeps its
+scalar path; a runtime error in the mask (e.g. a missing column) makes
+:class:`~repro.core.operators.basic.FilterOperator` fall back row-by-row,
+which raises or filters exactly as the scalar plan would.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.cql.ast import BinaryOp, Column, Expr, Literal, UnaryOp
+
+#: a compiled node: (values, column_cache) -> ndarray or scalar
+_Node = Callable[[list, dict], Any]
+
+
+def _as_bool(value: Any) -> Any:
+    """Match Python truthiness elementwise (``bool(x)`` per row)."""
+    arr = np.asarray(value)
+    if arr.dtype == np.bool_:
+        return arr
+    return arr.astype(bool)
+
+
+def _compile(expr: Expr, binding: str) -> _Node | None:
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda values, cache: value
+    if isinstance(expr, Column):
+        if expr.qualifier is not None and expr.qualifier != binding:
+            return None
+        name = expr.name
+
+        def column(values: list, cache: dict, name: str = name) -> Any:
+            arr = cache.get(name)
+            if arr is None:
+                arr = np.asarray([v[name] for v in values])
+                cache[name] = arr
+            return arr
+
+        return column
+    if isinstance(expr, UnaryOp):
+        inner = _compile(expr.operand, binding)
+        if inner is None:
+            return None
+        if expr.op == "NOT":
+            return lambda values, cache: ~_as_bool(inner(values, cache))
+        if expr.op == "-":
+            return lambda values, cache: -np.asarray(inner(values, cache))
+        return None
+    if isinstance(expr, BinaryOp):
+        left = _compile(expr.left, binding)
+        right = _compile(expr.right, binding)
+        if left is None or right is None:
+            return None
+        op = expr.op
+        if op == "AND":
+            return lambda values, cache: _as_bool(left(values, cache)) & _as_bool(right(values, cache))
+        if op == "OR":
+            return lambda values, cache: _as_bool(left(values, cache)) | _as_bool(right(values, cache))
+        ops: dict[str, Callable[[Any, Any], Any]] = {
+            "=": lambda a, b: a == b,
+            "<>": lambda a, b: a != b,
+            "<": lambda a, b: a < b,
+            "<=": lambda a, b: a <= b,
+            ">": lambda a, b: a > b,
+            ">=": lambda a, b: a >= b,
+            "+": lambda a, b: a + b,
+            "-": lambda a, b: a - b,
+            "*": lambda a, b: a * b,
+            "/": lambda a, b: a / b,
+        }
+        fn = ops.get(op)
+        if fn is None:
+            return None
+        return lambda values, cache: fn(np.asarray(left(values, cache)), np.asarray(right(values, cache)))
+    # Aggregates (and anything unrecognised) stay on the interpreter path.
+    return None
+
+
+def compile_predicate(expr: Expr, binding: str) -> Callable[[list], Any] | None:
+    """Compile a WHERE expression to ``fn(values) -> bool mask``.
+
+    Returns ``None`` when the expression uses constructs outside the
+    vectorizable subset; callers then keep the scalar predicate only.
+    """
+    plan = _compile(expr, binding)
+    if plan is None:
+        return None
+
+    def run(values: list) -> Any:
+        cache: dict[str, Any] = {}
+        mask = _as_bool(plan(values, cache))
+        if mask.shape != (len(values),):
+            # A constant predicate broadcasts over the batch.
+            mask = np.broadcast_to(mask, (len(values),))
+        return mask
+
+    return run

@@ -20,7 +20,7 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.core.events import Record, Watermark
+from repro.core.events import Record, RecordBatch, Watermark
 from repro.core.operators.base import Operator, OperatorContext
 
 
@@ -160,10 +160,44 @@ class MicroBatchAcceleratedOperator(Operator):
                 )
             )
 
+    def process_batch(self, batch: RecordBatch, ctx: OperatorContext) -> None:
+        # A transport batch is already the unit the kernel wants: flush any
+        # scalar-accumulated prefix (keeps output order = arrival order), then
+        # offload the whole batch as a single kernel launch.
+        self._run_batch(ctx)
+        n = len(batch)
+        if n == 0:
+            return
+        if self.use_accelerator:
+            cost = self.model.accelerated_time(n, self.per_element_cpu)
+        else:
+            cost = self.model.cpu_time(n, self.per_element_cpu)
+        ctx.add_cost(cost)
+        self.total_kernel_time += cost
+        self.batches_run += 1
+        outputs = self.kernel(list(batch.values))
+        last = batch.record_at(n - 1)
+        first_ingest = batch.ingest_times[0] if batch.ingest_times is not None else None
+        for output in outputs:
+            ctx.emit(
+                Record(
+                    value=output,
+                    event_time=last.event_time,
+                    key=last.key,
+                    ingest_time=first_ingest,
+                )
+            )
+
     def on_watermark(self, watermark: Watermark, ctx: OperatorContext) -> None:
         # Batches must not straddle progress barriers indefinitely.
         self._run_batch(ctx)
         ctx.emit(watermark)
+
+    def on_barrier(self, checkpoint_id: int, ctx: OperatorContext) -> None:
+        """Flush the accumulated batch before the snapshot is taken: the
+        records become *output ahead of the barrier* instead of riding in
+        operator state, so a restore never replays or loses them."""
+        self._run_batch(ctx)
 
     def flush(self, ctx: OperatorContext) -> None:
         self._run_batch(ctx)

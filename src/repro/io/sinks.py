@@ -14,7 +14,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.core.events import Record
+from repro.core.events import Record, RecordBatch
 from repro.core.operators.base import OperatorContext
 
 
@@ -75,6 +75,10 @@ class Sink:
     def flush(self, ctx: OperatorContext) -> None:
         """Called at end of bounded input."""
 
+    # Sinks MAY define ``write_batch(batch, ctx)`` for the columnar path;
+    # SinkOperator duck-types for it and otherwise explodes the batch
+    # through ``write``. It must be equivalent to writing each record.
+
 
 class CollectSink(Sink):
     """Collects all results with timing metadata."""
@@ -94,6 +98,26 @@ class CollectSink(Sink):
                 sign=record.sign,
             )
         )
+
+    def write_batch(self, batch: RecordBatch, ctx: OperatorContext) -> None:
+        """Columnar fast path: one timestamp lookup for the whole batch.
+
+        Virtual time does not advance while an element is being processed,
+        so the shared ``emitted_at`` is exactly what per-record writes would
+        have recorded."""
+        emitted_at = ctx.processing_time()
+        append = self.results.append
+        for record in batch.records():
+            append(
+                SinkResult(
+                    value=record.value,
+                    event_time=record.event_time,
+                    emitted_at=emitted_at,
+                    ingest_time=record.ingest_time,
+                    key=record.key,
+                    sign=record.sign,
+                )
+            )
 
     # --- analysis helpers -------------------------------------------------
     def values(self) -> list[Any]:
@@ -162,6 +186,12 @@ class DedupSink(CollectSink):
             self._seen.add(ident)
         super().write(record, ctx)
 
+    def write_batch(self, batch: RecordBatch, ctx: OperatorContext) -> None:
+        # Duplicate detection is inherently per record; inheriting the
+        # columnar append would silently skip the counting.
+        for record in batch.records():
+            self.write(record, ctx)
+
     def unique_count(self) -> int:
         """Distinct identities observed."""
         return len(self._seen)
@@ -211,6 +241,23 @@ class TransactionalSink(Sink):
                 sign=record.sign,
             )
         )
+
+    def write_batch(self, batch: RecordBatch, ctx: OperatorContext) -> None:
+        """Columnar fast path: buffer the whole batch into the open epoch
+        with one shared timestamp (virtual time is frozen mid-element)."""
+        emitted_at = ctx.processing_time()
+        append = self._open_epoch.buffered.append
+        for record in batch.records():
+            append(
+                SinkResult(
+                    value=record.value,
+                    event_time=record.event_time,
+                    emitted_at=emitted_at,
+                    ingest_time=record.ingest_time,
+                    key=record.key,
+                    sign=record.sign,
+                )
+            )
 
     def on_checkpoint(self, checkpoint_id: int) -> None:
         """Seal the open epoch under this checkpoint id (pre-commit).

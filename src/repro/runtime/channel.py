@@ -21,7 +21,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Any, Callable
 
-from repro.core.events import Record, StreamElement
+from repro.core.events import Record, RecordBatch, StreamElement
 from repro.core.graph import ChannelSpec, Partitioning
 from repro.core.keys import subtask_for_key
 from repro.errors import BackpressureError
@@ -218,6 +218,19 @@ class OutputGate:
 
     def targets_for(self, element: StreamElement) -> list[PhysicalChannel]:
         """Channels this element routes to under the gate's partitioning."""
+        if isinstance(element, RecordBatch):
+            # Batches are data, not control: route like records. Callers use
+            # emit(), which splits hash-partitioned batches per target; here
+            # the whole batch maps to the single (or round-robin) channel.
+            if self.partitioning is Partitioning.BROADCAST:
+                return self.channels
+            if len(self.channels) == 1:
+                return [self.channels[0]]
+            if self.partitioning is Partitioning.REBALANCE:
+                index = self._round_robin % len(self.channels)
+                self._round_robin += 1
+                return [self.channels[index]]
+            return [self.channels[0]]
         if not isinstance(element, Record) or self.partitioning is Partitioning.BROADCAST:
             return self.channels
         if len(self.channels) == 1:
@@ -235,9 +248,40 @@ class OutputGate:
 
     def emit(self, element: StreamElement) -> bool:
         """Send to all chosen channels; False if any channel backlogged."""
+        if (
+            isinstance(element, RecordBatch)
+            and self.partitioning is Partitioning.HASH
+            and len(self.channels) > 1
+        ):
+            return self._emit_hash_batch(element)
         clear = True
         for channel in self.targets_for(element):
             if not channel.send(element):
+                clear = False
+        return clear
+
+    def _emit_hash_batch(self, batch: RecordBatch) -> bool:
+        """Split a batch into per-receiver sub-batches along key ownership.
+
+        Each sub-batch keeps its rows in original order (per-channel FIFO is
+        what the scalar path guarantees too); sub-batches go out in receiver
+        index order so the shuffle is deterministic.
+        """
+        n_channels = len(self.channels)
+        max_parallelism = self._max_parallelism
+        parts: dict[int, list[int]] = {}
+        for i, key in enumerate(batch.iter_keys()):
+            target = subtask_for_key(key, n_channels, max_parallelism)
+            rows = parts.get(target)
+            if rows is None:
+                parts[target] = [i]
+            else:
+                rows.append(i)
+        clear = True
+        for target in sorted(parts):
+            rows = parts[target]
+            sub = batch if len(rows) == len(batch) else batch.select(rows)
+            if not self.channels[target].send(sub):
                 clear = False
         return clear
 

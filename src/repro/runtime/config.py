@@ -95,6 +95,16 @@ class EngineConfig:
     #: heap-free FIFO dispatch for events scheduled at exactly now();
     #: order-preserving, so safe to leave on
     same_time_bucket: bool = True
+    # --- columnar execution ------------------------------------------------
+    #: sources emit :class:`~repro.core.events.RecordBatch` columnar batches
+    #: instead of per-record elements; batches are the unit of transport
+    #: (one channel element, one credit, one dispatch) and of compute
+    #: (vectorized operators; scalar fallback for everything else). Outputs
+    #: are byte-identical to the scalar path on the same seed.
+    columnar_enabled: bool = False
+    #: maximum records per source batch in columnar mode; batches also close
+    #: early at watermarks, markers, barriers, and end of input
+    columnar_batch_size: int = 256
     # --- observability (repro.obs) ----------------------------------------
     #: kernel-time period at which sources emit in-band latency markers
     #: (None = markers off); markers yield per-operator and source→sink

@@ -337,6 +337,9 @@ class Engine:
                 engine=self,
                 subtask_index=index,
                 parallelism=node.parallelism,
+                batch_records=(
+                    self.config.columnar_batch_size if self.config.columnar_enabled else None
+                ),
             )
         backend_factory = self._resolve_backend_factory(node.state_backend_factory)
         self._task_factories[name] = node.new_operator

@@ -31,6 +31,7 @@ from repro.core.events import (
     LatencyMarker,
     Punctuation,
     Record,
+    RecordBatch,
     StreamElement,
     Watermark,
 )
@@ -152,6 +153,9 @@ class TaskContext(OperatorContext):
     @property
     def current_key(self) -> Any:
         return self.current_key_value
+
+    def set_current_key(self, key: Any) -> None:
+        self.current_key_value = key
 
     def state(self, descriptor) -> Any:
         return self._task.state_backend.handle(descriptor, self.current_key_value)
@@ -334,7 +338,9 @@ class Task:
             if self.ha_buffer is not None:
                 self.ha_buffer.append(_MailboxItem(channel_index, element))
             else:
-                self.metrics.dropped += 1
+                # A batch drops all its rows at once; conservation oracles
+                # count records, not elements.
+                self.metrics.dropped += len(element) if isinstance(element, RecordBatch) else 1
             # Either way, return the credit so the channel doesn't leak
             # capacity while we are down.
             if via is not None:
@@ -344,10 +350,18 @@ class Task:
             self._feedback_deliveries = getattr(self, "_feedback_deliveries", 0) + 1
         if self.finished:
             # A retired (scaled-in) task still forwards misrouted records.
-            if self.reroute is not None and isinstance(element, Record) and element.key is not None:
-                owner = self.reroute(element.key)
-                if owner is not None and owner is not self:
-                    owner.enqueue_local(element)
+            if self.reroute is not None:
+                if isinstance(element, Record) and element.key is not None:
+                    owner = self.reroute(element.key)
+                    if owner is not None and owner is not self:
+                        owner.enqueue_local(element)
+                elif isinstance(element, RecordBatch):
+                    for record in element.records():
+                        if record.key is None:
+                            continue
+                        owner = self.reroute(record.key)
+                        if owner is not None and owner is not self:
+                            owner.enqueue_local(record)
             if via is not None:
                 via.return_credit()
             return
@@ -417,8 +431,21 @@ class Task:
     # ------------------------------------------------------------------
     def _handle_item(self, item: _MailboxItem) -> float:
         element = item.element
+        if type(element) is LatencyMarker:
+            # Fast path, hoisted ahead of the state/cost bookkeeping below:
+            # markers never touch the operator, state, or timers, so the
+            # stats snapshot/diff and cost accounting are provably zero.
+            # Intercepted before the operator — markers never enter windows
+            # or state. Record the per-operator (and, at a sink, the
+            # source→sink) latency, then forward in band at zero cost.
+            if self._obs is not None:
+                self._obs.record_marker(self, element, self.kernel.now())
+            if self.output_gates:
+                self.collect_output(element)
+            return 0.0
         stats_before = self.state_backend.stats.snapshot()
         timers_fired = 0
+        record_units = 0
 
         if isinstance(element, _ProcTimer):
             if not element.fired:
@@ -429,7 +456,9 @@ class Task:
                     element.timestamp, element.key, element.payload, self.ctx
                 )
                 timers_fired += 1
+                record_units = 1
         elif isinstance(element, Record):
+            record_units = 1
             if self.reroute is not None and element.key is not None:
                 owner = self.reroute(element.key)
                 if owner is not None and owner is not self:
@@ -443,6 +472,16 @@ class Task:
                 self._trace_mark = len(self._pending_output)
             self.ctx.current_key_value = element.key
             self.operator.process(element, self.ctx)
+        elif isinstance(element, RecordBatch):
+            if self.reroute is not None:
+                # Live migration in flight: batch routing predates the new
+                # key ownership, so explode and re-deliver per record.
+                for record in element.records():
+                    self.enqueue_local(record)
+                return 0.0
+            record_units = len(element)
+            self.metrics.records_in += record_units
+            self.operator.process_batch(element, self.ctx)
         elif isinstance(element, Watermark):
             self.metrics.watermarks_in += 1
             timers_fired += self._handle_watermark(item.channel_index, element)
@@ -457,14 +496,6 @@ class Task:
             self._handle_barrier(item.channel_index, element)
         elif isinstance(element, EndOfStream):
             self._handle_eos(item.channel_index, element)
-        elif isinstance(element, LatencyMarker):
-            # Intercepted before the operator: markers never enter windows
-            # or state. Record the per-operator (and, at a sink, the
-            # source→sink) latency, then forward in band at zero cost.
-            if self._obs is not None:
-                self._obs.record_marker(self, element, self.kernel.now())
-            if self.output_gates:
-                self.collect_output(element)
         else:
             self.operator.on_element(element, self.ctx)
 
@@ -476,8 +507,10 @@ class Task:
         self.metrics.timers_fired += timers_fired
 
         cost = 0.0
-        if isinstance(element, (Record, _ProcTimer)):
-            cost += self.processing_cost
+        if record_units:
+            # One unit per record/timer; a batch charges the same per-record
+            # model cost in a single multiply.
+            cost += self.processing_cost * record_units
         cost += timers_fired * self.timer_cost
         state_cost = reads * self.state_backend.read_latency + writes * self.state_backend.write_latency
         cost += state_cost
@@ -500,8 +533,8 @@ class Task:
         profiler = self._profiler
         if profiler is not None:
             name = self.name
-            if isinstance(element, (Record, _ProcTimer)):
-                profiler.charge(f"{name};process", self.processing_cost)
+            if record_units:
+                profiler.charge(f"{name};process", self.processing_cost * record_units)
             if timers_fired:
                 profiler.charge(f"{name};timers", timers_fired * self.timer_cost)
             profiler.charge(f"{name};state", state_cost)
@@ -650,6 +683,14 @@ class Task:
         self._maybe_schedule()
 
     def _snapshot_and_forward(self, barrier: CheckpointBarrier) -> None:
+        # Pre-snapshot hook: operators holding an in-flight micro-batch
+        # (e.g. MicroBatchAcceleratedOperator) flush it *into this epoch*
+        # before state is captured — the flushed output is buffered ahead of
+        # the barrier, so downstream sees it in the right epoch and a
+        # restore never replays half a batch.
+        pre = getattr(self.operator, "on_barrier", None)
+        if pre is not None:
+            pre(barrier.checkpoint_id, self.ctx)
         snapshot = self.take_snapshot(barrier.checkpoint_id)
         hook = getattr(self.operator, "on_checkpoint", None)
         if hook is not None:
@@ -755,6 +796,9 @@ class Task:
             element = self._pending_output.popleft()
             if isinstance(element, Record):
                 self.metrics.records_out += 1
+            elif isinstance(element, RecordBatch):
+                # Per-batch accounting: one increment for the whole run.
+                self.metrics.records_out += len(element)
             clear = True
             for gate in self.output_gates:
                 if not gate.emit(element):
@@ -802,6 +846,11 @@ class Task:
         self._proc_timer_registry.clear()
         self._output_blocked = False
         self._active_span = None
+        # A dead task has no watermark: leaving the old value visible makes
+        # the (killed -> reincarnated) window look like a watermark rewind
+        # *inside* the new incarnation to any observer probing between the
+        # kill and the delayed restore.
+        self.current_watermark = float("-inf")
         self.metrics.failures += 1
         self.metrics.mark_down(self.kernel.now())
         if not self.state_backend.survives_task_failure:
@@ -882,6 +931,7 @@ class SourceTask(Task):
         engine: Any = None,
         subtask_index: int = 0,
         parallelism: int = 1,
+        batch_records: int | None = None,
     ) -> None:
         super().__init__(
             kernel,
@@ -902,6 +952,12 @@ class SourceTask(Task):
         self._emitted = 0
         self._next_arrival = 0.0
         self._pending_event: Any = None
+        #: columnar mode: emit RecordBatch runs of up to this many records
+        #: (None/1 = classic per-record emission)
+        self._batch_records = batch_records
+        #: pulled-but-unemitted (event, planned_arrival) pairs; excluded from
+        #: the snapshot offset, so a restore re-pulls them deterministically
+        self._pending_batch: list | None = None
         self._last_watermark = float("-inf")
         self._periodic: PeriodicTimer | None = None
         self._hb_timer: PeriodicTimer | None = None
@@ -946,6 +1002,9 @@ class SourceTask(Task):
     def _schedule_next(self) -> None:
         if self.dead or self.finished or self.paused:
             return
+        if self._batch_records is not None and self._batch_records > 1:
+            self._schedule_next_batch()
+            return
         try:
             event = next(self._iterator)
         except StopIteration:
@@ -963,6 +1022,38 @@ class SourceTask(Task):
 
         self.kernel.call_at(self._next_arrival, emit)
 
+    def _schedule_next_batch(self) -> None:
+        """Columnar: pull up to ``_batch_records`` events, accumulate their
+        arrival times, and arm ONE kernel timer at the last arrival — the
+        whole batch then travels as a single element. Watermark strategies
+        still observe every event (at emission, so progress never outruns
+        unemitted data), and only the highest resulting watermark follows
+        the batch."""
+        events: list = []
+        arrival = max(self.kernel.now(), self._next_arrival)
+        limit = self._batch_records
+        while len(events) < limit:
+            try:
+                event = next(self._iterator)
+            except StopIteration:
+                break
+            arrival += event.inter_arrival
+            events.append((event, arrival))
+        if not events:
+            self._finish()
+            return
+        self._next_arrival = arrival
+        self._pending_batch = events
+        self._pending_due = arrival
+        incarnation = self.incarnation
+
+        def emit() -> None:
+            if incarnation != self.incarnation:
+                return
+            self._try_emit()
+
+        self.kernel.call_at(arrival, emit)
+
     def _try_emit(self) -> None:
         if self.dead or self.finished:
             return
@@ -975,6 +1066,12 @@ class SourceTask(Task):
             self._output_blocked = True
             if self._blocked_since is None:
                 self._blocked_since = self.kernel.now()
+            return
+        if self._pending_batch is not None:
+            events = self._pending_batch
+            self._pending_batch = None
+            self._emit_batch(events)
+            self._schedule_next()
             return
         event = self._pending_event
         self._pending_event = None
@@ -997,6 +1094,49 @@ class SourceTask(Task):
         self._flush_outputs()
         self._schedule_next()
 
+    def _emit_batch(self, events: list) -> None:
+        """Emit pulled events as one :class:`RecordBatch` (+ one watermark).
+
+        Per-record fields match the scalar path: each row keeps its own
+        event time and its *planned* arrival as ingest time. The strategy's
+        ``on_event`` runs per row in order, but only the highest watermark
+        is emitted, after the batch — conservative w.r.t. the scalar
+        interleaving, so nothing late in columnar mode wasn't late already.
+        """
+        values: list[Any] = []
+        event_times: list[Any] = []
+        ingest_times: list[float] = []
+        has_event_time = False
+        max_event_time = self._max_event_time
+        for event, arrival in events:
+            values.append(event.value)
+            event_times.append(event.event_time)
+            ingest_times.append(arrival)
+            if event.event_time is not None:
+                has_event_time = True
+                if event.event_time > max_event_time:
+                    max_event_time = event.event_time
+        self._max_event_time = max_event_time
+        batch = RecordBatch(
+            values=values,
+            event_times=event_times if has_event_time else None,
+            ingest_times=ingest_times,
+        )
+        self.collect_output(batch)
+        n = len(events)
+        self.metrics.records_in += n
+        watermark: Watermark | None = None
+        on_event = self.strategy.on_event
+        for event, arrival in events:
+            wm = on_event(event.value, event.event_time, arrival)
+            if wm is not None and (watermark is None or wm.timestamp > watermark.timestamp):
+                watermark = wm
+        if watermark is not None and watermark.timestamp > self._last_watermark:
+            self._last_watermark = watermark.timestamp
+            self.collect_output(watermark)
+        self._emitted += n
+        self._flush_outputs()
+
     def output_unblocked(self) -> None:
         if not self._output_blocked:
             return
@@ -1008,7 +1148,7 @@ class SourceTask(Task):
             self._flush_outputs()
             if self._output_blocked:
                 return
-            if self._pending_event is not None:
+            if self._pending_event is not None or self._pending_batch is not None:
                 self._try_emit()
 
     def _periodic_watermark(self) -> None:
@@ -1055,7 +1195,7 @@ class SourceTask(Task):
         if not self.paused:
             return
         self.paused = False
-        if self._pending_event is not None:
+        if self._pending_event is not None or self._pending_batch is not None:
             self._try_emit()
         else:
             self._schedule_next()
@@ -1087,6 +1227,7 @@ class SourceTask(Task):
         self._emitted = skipped
         self._last_watermark = snapshot.watermark if snapshot is not None else float("-inf")
         self._pending_event = None
+        self._pending_batch = None
         self._next_arrival = self.kernel.now()
         if snapshot is not None:
             self.metrics.restored_at.append(self.kernel.now())
@@ -1095,6 +1236,7 @@ class SourceTask(Task):
         super().kill()
         self._cancel_timers()
         self._pending_event = None
+        self._pending_batch = None
 
     def reincarnate(self, operator: Operator | None = None, state_backend: Any = None) -> None:
         self.dead = False

@@ -11,13 +11,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
-from repro.core.events import Punctuation, Record, Watermark
+from repro.core.events import Punctuation, Record, RecordBatch, Watermark
 from repro.core.operators.base import Operator, OperatorContext
 from repro.state.api import MapStateDescriptor
-from repro.windows.assigners import WindowAssigner
+from repro.windows.assigners import (
+    SlidingEventTimeWindows,
+    TumblingEventTimeWindows,
+    WindowAssigner,
+)
 from repro.windows.core import TimeWindow
 from repro.windows.evictors import Evictor
-from repro.windows.triggers import Trigger, TriggerResult
+from repro.windows.triggers import EventTimeTrigger, Trigger, TriggerResult
 
 LATE_OUTPUT_TAG = "late"
 
@@ -64,11 +68,18 @@ class AggregateFunction(WindowFunction):
         add: Callable[[Any, Any], Any],
         result: Callable[[Any], Any] = lambda acc: acc,
         merge: Callable[[Any, Any], Any] | None = None,
+        add_batch: Callable[[Any, list], Any] | None = None,
     ) -> None:
         self._create = create
         self._add = add
         self._result = result
         self._merge = merge
+        #: optional vectorized fold: ``add_batch(acc, values) -> acc`` over a
+        #: whole in-order run of window contents. MUST return exactly what
+        #: folding ``add`` sequentially would (counts, int sums, min/max —
+        #: not float sums, whose pairwise reduction changes the last ulp),
+        #: because the columnar path uses it wherever the scalar path folds.
+        self.add_batch = add_batch
 
     def create(self) -> Any:
         return self._create()
@@ -135,6 +146,16 @@ class WindowOperator(Operator):
         if evictor is not None and function.incremental:
             raise ValueError("evictors require a buffering (process) window function")
         self.late_drops = 0
+        #: static half of the columnar gate: fixed time windows, the plain
+        #: watermark trigger, no evictor. (Count/early/punctuation triggers
+        #: observe each element, merging windows reorder state — those keep
+        #: exact scalar semantics via the explode/rebuild fallback.)
+        self._batch_fast_path = (
+            evictor is None
+            and not assigner.is_merging
+            and isinstance(assigner, (TumblingEventTimeWindows, SlidingEventTimeWindows))
+            and type(self.trigger) is EventTimeTrigger
+        )
 
     @property
     def name(self) -> str:
@@ -178,6 +199,95 @@ class WindowOperator(Operator):
                 result = TriggerResult.FIRE
             if result.fires:
                 self._fire(window, ctx, purge=result.purges)
+
+    def process_batch(self, batch: RecordBatch, ctx: OperatorContext) -> None:
+        """Vectorized window accumulation for the common shape.
+
+        Groups the batch's rows by (key, window) so each group pays one
+        state read, one state write, one max/count update, and — for
+        functions with an ``add_batch`` kernel — one fold call, instead of
+        per-record everything. Timer registration order matches the scalar
+        path (groups form in first-touch order, windows per row in assigner
+        order), and the watermark is constant across the batch just as it
+        is across a scalar run with no interleaved control elements, so
+        firing order and results are byte-identical.
+
+        Any row in the late band (``watermark >= window.end``, i.e. expired
+        drops or allowed-lateness refinements that the scalar path handles
+        with per-record emissions) sends the whole batch down the scalar
+        fallback — exactness over speed on the rare path.
+        """
+        n = len(batch)
+        if not self._batch_fast_path or n == 0:
+            super().process_batch(batch, ctx)
+            return
+        event_times = batch.event_times
+        if event_times is None or any(t is None for t in event_times):
+            super().process_batch(batch, ctx)
+            return
+        watermark = ctx.current_watermark()
+        values = batch.values
+        keys = batch.keys
+        assign = self.assigner.assign
+        #: (key, window) -> [window, key, row_indices]; insertion order is
+        #: scalar first-touch order
+        groups: dict[Any, list] = {}
+        for i in range(n):
+            event_time = event_times[i]
+            key = keys[i] if keys is not None else None
+            for window in assign(values[i], event_time):
+                if watermark >= window.end:
+                    super().process_batch(batch, ctx)
+                    return
+                group_key = (key, window.start, window.end)
+                group = groups.get(group_key)
+                if group is None:
+                    groups[group_key] = [window, key, [i]]
+                else:
+                    group[2].append(i)
+        function = self.function
+        incremental = function.incremental
+        add = function.add
+        add_batch = getattr(function, "add_batch", None)
+        lateness = self.allowed_lateness
+        early_interval = self.trigger.early_interval
+        for window, key, rows in groups.values():
+            ctx.set_current_key(key)
+            state = ctx.state(self._descriptor)
+            entry = state.get(window)
+            new_window = entry is None
+            if entry is None:
+                entry = {
+                    "acc": function.create(),
+                    "count": 0,
+                    "max_ts": event_times[rows[0]],
+                    "last": None,
+                }
+            acc = entry["acc"]
+            if not incremental:
+                for i in rows:
+                    acc = add(acc, (event_times[i], values[i]))
+            elif add_batch is not None and len(rows) > 1:
+                acc = add_batch(acc, [values[i] for i in rows])
+            else:
+                for i in rows:
+                    acc = add(acc, values[i])
+            entry["acc"] = acc
+            entry["count"] += len(rows)
+            max_ts = entry["max_ts"]
+            for i in rows:
+                if event_times[i] > max_ts:
+                    max_ts = event_times[i]
+            entry["max_ts"] = max_ts
+            state.put(window, entry)
+            if new_window and window.end != float("inf"):
+                ctx.register_event_timer(window.end, ("fire", window))
+                if lateness > 0:
+                    ctx.register_event_timer(window.end + lateness, ("cleanup", window))
+                if early_interval is not None:
+                    ctx.register_processing_timer(
+                        ctx.processing_time() + early_interval, ("early", window)
+                    )
 
     def _merge_windows(self, new_window: TimeWindow, state: Any, ctx: OperatorContext) -> TimeWindow:
         """Session merge: coalesce every stored window intersecting the new one."""

@@ -60,10 +60,21 @@ class WindowedStream:
         merge: Callable[[Any, Any], Any] | None = None,
         name: str = "window-agg",
         retract: bool = False,
+        add_batch: Callable[[Any, list], Any] | None = None,
         **kwargs: Any,
     ) -> DataStream:
-        """Incremental windowed aggregate with (create, add, result[, merge])."""
-        return self._apply(AggregateFunction(create, add, result, merge), name, retract=retract, **kwargs)
+        """Incremental windowed aggregate with (create, add, result[, merge]).
+
+        ``add_batch(acc, values)``, when given, lets the columnar path fold a
+        whole in-order run at once; it must return exactly what sequential
+        ``add`` calls would.
+        """
+        return self._apply(
+            AggregateFunction(create, add, result, merge, add_batch=add_batch),
+            name,
+            retract=retract,
+            **kwargs,
+        )
 
     def reduce(self, fn: Callable[[Any, Any], Any], name: str = "window-reduce", **kwargs: Any) -> DataStream:
         """Windowed reduce over the element type."""
@@ -79,7 +90,12 @@ class WindowedStream:
     def count(self, name: str = "window-count", **kwargs: Any) -> DataStream:
         """Windowed element count (session-mergeable)."""
         return self.aggregate(
-            lambda: 0, lambda acc, _v: acc + 1, merge=lambda a, b: a + b, name=name, **kwargs
+            lambda: 0,
+            lambda acc, _v: acc + 1,
+            merge=lambda a, b: a + b,
+            add_batch=lambda acc, values: acc + len(values),
+            name=name,
+            **kwargs,
         )
 
     def apply(self, fn: Callable[[Any, Any, list[Any]], Any], name: str = "window-apply", **kwargs: Any) -> DataStream:

@@ -99,6 +99,47 @@ class TestMicroBatchOperator:
         assert op.batches_run == 2  # one full + one flushed partial
         assert len(sink.results) == 2
 
+    def test_barrier_flushes_accumulated_batch(self):
+        from helpers import StubContext
+
+        from repro.core.events import Record
+
+        op = MicroBatchAcceleratedOperator(
+            kernel=lambda values: [sum(values)],
+            batch_size=5,
+            model=AcceleratorModel(),
+        )
+        ctx = StubContext()
+        for i in range(3):
+            op.process(Record(value=float(i)), ctx)
+        assert not ctx.emitted  # still accumulating: 3 < batch_size
+        op.on_barrier(checkpoint_id=1, ctx=ctx)
+        # The partial batch became output *ahead of* the barrier, so the
+        # snapshot carries no in-flight records to replay or lose.
+        assert [e.value for e in ctx.emitted] == [3.0]
+        assert op.snapshot_state() == []
+        op.on_barrier(checkpoint_id=2, ctx=ctx)  # idempotent when empty
+        assert len(ctx.emitted) == 1
+
+    def test_record_batch_runs_as_one_kernel_launch(self):
+        from helpers import StubContext
+
+        from repro.core.events import Record, RecordBatch
+
+        op = MicroBatchAcceleratedOperator(
+            kernel=lambda values: [sum(values)],
+            batch_size=4,
+            model=AcceleratorModel(),
+        )
+        ctx = StubContext()
+        op.process(Record(value=100.0), ctx)  # scalar prefix, below batch_size
+        batch = RecordBatch(values=[1.0, 2.0, 3.0], event_times=[0.1, 0.2, 0.3])
+        op.process_batch(batch, ctx)
+        # Prefix flushed first (arrival order), then the batch as one launch.
+        assert [e.value for e in ctx.emitted] == [100.0, 6.0]
+        assert op.batches_run == 2
+        assert ctx.emitted[1].event_time == 0.3
+
 
 class TestNVRAMModel:
     def test_nvram_recovery_much_faster_for_large_state(self):
