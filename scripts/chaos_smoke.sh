@@ -5,10 +5,13 @@
 # capped at ~30 seconds of wall clock per mode. Any oracle violation
 # prints a copy-pasteable minimal reproducer and fails the script.
 # Usage: scripts/chaos_smoke.sh [--seed N] [--schedules K]
-#          [--mode default|supervised|both] [--obs] [--incremental] [--columnar]
+#          [--mode default|supervised|both] [--obs] [--incremental]
+#          [--columnar] [--rescale]
 # --obs runs with latency markers + tracing on; --incremental checkpoints
 # via base+delta chains; --columnar transports record-batches end to end —
-# none of the three may change any verdict.
+# none of the three may change any verdict. --rescale swaps in the
+# rescale-chaos grid: live key-group migrations interleaved with the fault
+# palette, under the same oracles.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

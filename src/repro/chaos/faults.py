@@ -28,6 +28,7 @@ from repro.chaos.schedule import (
     DUPLICATE,
     KILL,
     REORDER,
+    RESCALE,
     STALL,
     FaultSchedule,
     FaultSpec,
@@ -210,6 +211,9 @@ class ChaosInjector:
         #: dispatch order — compared across runs by the determinism tests
         self.log: list[str] = []
         self._hooks: dict[str, ChannelFaultHook] = {}
+        #: lazily-built Rescaler shared by every RESCALE fault in the
+        #: schedule (keeps one router/report chain per node)
+        self._rescaler = None
 
     # ------------------------------------------------------------------
     def apply(self) -> None:
@@ -224,6 +228,8 @@ class ChaosInjector:
                 self._schedule_kill(spec)
             elif spec.kind == STALL:
                 self._schedule_stall(spec)
+            elif spec.kind == RESCALE:
+                self._schedule_rescale(spec)
             else:
                 channel = channels.get(spec.target)
                 if channel is None:
@@ -256,6 +262,44 @@ class ChaosInjector:
         # event records it in the injector's trace.
         self.engine.kernel.call_at(spec.at, note)
         del event
+
+    def _schedule_rescale(self, spec: FaultSpec) -> None:
+        """A live rescale dropped into the fault timeline: ``spec.target`` is
+        a logical node name, ``spec.count`` the requested parallelism. The
+        injection is skipped — deterministically, as a function of engine
+        state at ``spec.at`` — when the job is over, a restore is in flight,
+        or any subtask of the node is dead (a production autoscaler would
+        equally hold off mid-recovery)."""
+
+        def rescale() -> None:
+            engine = self.engine
+            if engine.job_finished or engine.job_failed or engine._restore_in_flight:
+                return
+            try:
+                node = engine.graph.node_by_name(spec.target)
+            except Exception:
+                raise RecoveryError(f"chaos schedule targets unknown node {spec.target!r}")
+            tasks = engine.node_tasks.get(node.node_id, [])
+            if not tasks or any(t.dead for t in tasks):
+                return
+            target_p = max(1, spec.count)
+            if target_p == node.parallelism:
+                # Force a real reconfiguration: same-parallelism rescales
+                # would be no-ops and waste the scheduled slot.
+                target_p += 1
+            from repro.load.migration import Rescaler
+
+            if self._rescaler is None:
+                self._rescaler = Rescaler(engine)
+            report = self._rescaler.rescale(spec.target, target_p, mode="live")
+            self._log_event(
+                RESCALE,
+                spec.target,
+                f"p {report.old_parallelism}->{report.new_parallelism} "
+                f"({report.handoff}, {report.moved_entries} entries)",
+            )
+
+        self.engine.kernel.call_at(spec.at, rescale)
 
     def _schedule_stall(self, spec: FaultSpec) -> None:
         def stall() -> None:

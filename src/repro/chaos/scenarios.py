@@ -26,6 +26,7 @@ from repro.chaos.schedule import (
     DUPLICATE,
     KILL,
     REORDER,
+    RESCALE,
     STALL,
     PaletteConfig,
 )
@@ -330,6 +331,58 @@ def parallel_slices(level: GuaranteeLevel = GuaranteeLevel.AT_LEAST_ONCE) -> Sce
 
 
 # ----------------------------------------------------------------------
+# shape 6: rescale shuffle — keyed running count that chaos live-rescales
+# ----------------------------------------------------------------------
+def rescale_shuffle(level: GuaranteeLevel = GuaranteeLevel.EXACTLY_ONCE) -> Scenario:
+    """The keyed-shuffle shape with live rescales *in* the fault timeline.
+
+    RESCALE faults change the ``count`` stage's parallelism mid-run —
+    interleaved with kills, stalls, and lost barriers — while the delivery
+    oracle still demands a byte-identical committed output: migration must
+    move every key's state and timers to its new owner, reroute in-flight
+    records, and recovery must re-home checkpointed state taken under the
+    old layout.
+    """
+    events = 240
+    workload = SensorWorkload(count=events, rate=3000.0, key_count=6, seed=733)
+    counts: dict[str, int] = {}
+    expected: list[Any] = []
+    for event in workload.events():
+        sensor = event.value["sensor"]
+        counts[sensor] = counts.get(sensor, 0) + 1
+        expected.append((sensor, counts[sensor]))
+
+    def build(config: EngineConfig) -> ScenarioRun:
+        sink, observed = _make_sink(level)
+        env = StreamExecutionEnvironment(config, name="chaos-rescale-shuffle")
+        (
+            env.from_workload(workload, name="src")
+            .map(lambda v: (v["sensor"], 1), name="pair")
+            .key_by(lambda v: v[0], parallelism=2)
+            .reduce(lambda a, b: (a[0], a[1] + b[1]), name="count", parallelism=2)
+            .sink(sink, name="out", parallelism=1)
+        )
+        return ScenarioRun(env.build(), list(expected), observed)
+
+    return Scenario(
+        name=f"rescale-shuffle/{level.value}",
+        level=level,
+        build=build,
+        palette=PaletteConfig(
+            kinds=(KILL, STALL, BARRIER_LOSS, RESCALE),
+            min_faults=2,
+            max_faults=5,
+            window=0.12,
+            max_magnitude=0.03,
+            rescale_targets=("count",),
+            rescale_max_parallelism=3,
+        ),
+        config_overrides={"flow_control": True},
+        conserves_records=True,
+    )
+
+
+# ----------------------------------------------------------------------
 def broken_at_most_once() -> Scenario:
     """Deliberately mis-deployed job: a plain (at-most-once) sink with no
     checkpoints, but the operator *claims* exactly-once. Any kill loses the
@@ -353,6 +406,12 @@ def standard_scenarios() -> list[Scenario]:
         fan_in_join(GuaranteeLevel.EXACTLY_ONCE),
         feedback_loop(),
     ]
+
+
+def rescale_scenarios() -> list[Scenario]:
+    """The rescale-chaos grid: live rescales interleaved with kills, stalls,
+    and lost barriers, checked against exactly-once committed output."""
+    return [rescale_shuffle(GuaranteeLevel.EXACTLY_ONCE)]
 
 
 def supervised_scenarios() -> list[Scenario]:

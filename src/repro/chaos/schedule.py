@@ -26,8 +26,12 @@ DELAY = "delay"
 REORDER = "reorder"
 STALL = "stall"
 BARRIER_LOSS = "barrier_loss"
+#: not a fault in the strict sense: a live rescale of a logical node,
+#: interleaved with real faults to stress migration (``target`` is a node
+#: name from ``palette.rescale_targets``; ``count`` is the new parallelism)
+RESCALE = "rescale"
 
-ALL_KINDS = (KILL, DROP, DUPLICATE, DELAY, REORDER, STALL, BARRIER_LOSS)
+ALL_KINDS = (KILL, DROP, DUPLICATE, DELAY, REORDER, STALL, BARRIER_LOSS, RESCALE)
 
 #: kinds that target a physical channel (``target`` is "sender->receiver")
 CHANNEL_KINDS = frozenset({DROP, DUPLICATE, DELAY, REORDER, BARRIER_LOSS})
@@ -56,7 +60,7 @@ class FaultSpec:
     def describe(self) -> str:
         """Constructor-call rendering used in printed reproducers."""
         extra = ""
-        if self.kind in CHANNEL_KINDS and self.kind != BARRIER_LOSS:
+        if (self.kind in CHANNEL_KINDS and self.kind != BARRIER_LOSS) or self.kind == RESCALE:
             extra = f", count={self.count}"
         if self.magnitude:
             extra += f", magnitude={self.magnitude:.6g}"
@@ -104,6 +108,11 @@ class PaletteConfig:
     max_magnitude: float = 0.05
     #: max elements a drop/duplicate/delay/reorder burst affects
     max_count: int = 3
+    #: logical node names RESCALE faults may target; empty disables RESCALE
+    #: even when it is in ``kinds`` (keeps existing palettes byte-stable)
+    rescale_targets: tuple[str, ...] = ()
+    #: RESCALE draws a new parallelism in [1, rescale_max_parallelism]
+    rescale_max_parallelism: int = 3
 
 
 def generate_schedule(
@@ -129,7 +138,9 @@ def generate_schedule(
     kinds = [
         k
         for k in palette.kinds
-        if (k in TASK_KINDS and task_targets) or (k in CHANNEL_KINDS and channel_targets)
+        if (k in TASK_KINDS and task_targets)
+        or (k in CHANNEL_KINDS and channel_targets)
+        or (k == RESCALE and palette.rescale_targets)
     ]
     faults: list[FaultSpec] = []
     if not kinds:
@@ -139,11 +150,16 @@ def generate_schedule(
         kind = rng.choice(kinds)
         at = rng.uniform(0.0, palette.window)
         magnitude = rng.uniform(palette.min_magnitude, palette.max_magnitude)
-        count = rng.randint(1, palette.max_count)
-        if kind in TASK_KINDS:
-            target = rng.choice(task_targets)
+        if kind == RESCALE:
+            # ``count`` carries the target parallelism for rescales.
+            count = rng.randint(1, palette.rescale_max_parallelism)
+            target = rng.choice(list(palette.rescale_targets))
         else:
-            target = rng.choice(channel_targets)
+            count = rng.randint(1, palette.max_count)
+            if kind in TASK_KINDS:
+                target = rng.choice(task_targets)
+            else:
+                target = rng.choice(channel_targets)
         faults.append(
             FaultSpec(
                 kind=kind,

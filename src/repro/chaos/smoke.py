@@ -14,7 +14,12 @@ import sys
 import time
 
 from repro.chaos.runner import ChaosRunner, flags_key
-from repro.chaos.scenarios import FlagTriple, standard_scenarios, supervised_scenarios
+from repro.chaos.scenarios import (
+    FlagTriple,
+    rescale_scenarios,
+    standard_scenarios,
+    supervised_scenarios,
+)
 
 #: smoke matrix: the two extreme dispatch configurations — everything off,
 #: everything on — which between them cover both delivery code paths
@@ -58,6 +63,13 @@ def main(argv: list[str] | None = None) -> int:
         "mechanics change, verdicts must not)",
     )
     parser.add_argument(
+        "--rescale",
+        action="store_true",
+        help="sweep the rescale-chaos scenarios instead of the standard "
+        "grid (live rescales interleaved with kills/stalls/lost barriers; "
+        "forces incremental checkpoints so delta-chain handoff is covered)",
+    )
+    parser.add_argument(
         "--columnar",
         action="store_true",
         help="transport record-batches end to end (columnar execution; "
@@ -66,12 +78,21 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     modes = ("default", "supervised") if args.mode == "both" else (args.mode,)
+    if args.rescale:
+        # Rescale sweeps run unsupervised (the fixed per-guarantee recovery
+        # policy) and always with incremental chains: the point is the
+        # delta-chain state handoff under faults.
+        modes = ("default",)
+        args.incremental = True
     started = time.monotonic()
     failures = 0
     cells = 0
     for mode in modes:
         supervised = mode == "supervised"
-        scenarios = supervised_scenarios() if supervised else standard_scenarios()
+        if args.rescale:
+            scenarios = rescale_scenarios()
+        else:
+            scenarios = supervised_scenarios() if supervised else standard_scenarios()
         for scenario in scenarios:
             runner = ChaosRunner(
                 scenario,

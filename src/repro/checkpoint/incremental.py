@@ -138,6 +138,23 @@ class IncrementalSnapshotter(KeyedStateBackend):
         return len(self._dirty) + len(self._deleted)
 
     @property
+    def last_snapshot_id(self) -> int | None:
+        """Id of the most recent capture (None = nothing captured yet).
+
+        Live migration's delta-chain handoff is only sound when this matches
+        the chain store's newest link for the task: current state = chain
+        replay ⊕ live dirty overlay. After a recovery the backend is fresh
+        (``last_snapshot_id`` is None) while the store may hold newer links,
+        and the handoff must fall back to full extraction.
+        """
+        return self._last_id
+
+    def dirty_entries(self) -> tuple[set[tuple[str, Any]], set[tuple[str, Any]]]:
+        """Copies of the (dirty, deleted) ``(descriptor, key)`` sets — the
+        live overlay a delta-chain state handoff must ship synchronously."""
+        return set(self._dirty), set(self._deleted)
+
+    @property
     def inner(self) -> KeyedStateBackend:
         return self._inner
 
@@ -270,6 +287,13 @@ class TaskChainStore:
     def chain_bytes(self, task_name: str, link: DeltaSnapshot) -> int:
         """Serialized volume a restore must pull for this link's chain."""
         return sum(part.size_bytes() for part in self.chain_to(task_name, link))
+
+    def latest_link(self, task_name: str) -> DeltaSnapshot | None:
+        """The newest captured link for ``task_name`` (restorable or not);
+        None when the task has no chain yet. Live migration anchors its
+        delta-chain handoff here."""
+        links = self._links.get(task_name)
+        return links[-1] if links else None
 
     # --- introspection -----------------------------------------------------
     def segment_length(self, task_name: str) -> int:

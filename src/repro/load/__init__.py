@@ -1,8 +1,10 @@
 """Load management (survey §3.3): shedding, backpressure, elasticity, migration."""
 
+from repro.load.autoscaler import AutoscaleController, HotSplitAction
 from repro.load.backpressure import BackpressureMonitor, PressureSample, source_slowdown
 from repro.load.elasticity import DS2Controller, OperatorModel, ScalingDecision
 from repro.load.migration import Rescaler, RescaleReport
+from repro.load.routing import KeyRouter
 from repro.load.shedding import (
     RandomShedder,
     SemanticShedder,
@@ -12,8 +14,11 @@ from repro.load.shedding import (
 )
 
 __all__ = [
+    "AutoscaleController",
     "BackpressureMonitor",
     "DS2Controller",
+    "HotSplitAction",
+    "KeyRouter",
     "OperatorModel",
     "PressureSample",
     "RandomShedder",

@@ -74,6 +74,9 @@ class PhysicalChannel:
         #: send and may drop, delay, duplicate, or hold the element. None on
         #: the production path — the cost is one attribute test per send.
         self.fault_hook: "ChannelFaultHook | None" = None
+        #: elements scheduled but not yet handed to the receiver (current
+        #: epoch only) — rescale drain barriers wait on this
+        self._in_flight = 0
 
     # ------------------------------------------------------------------
     def send(self, element: StreamElement) -> bool:
@@ -110,6 +113,7 @@ class PhysicalChannel:
             arrival = self._last_delivery
         self._last_delivery = arrival
         self.sent += 1
+        self._in_flight += 1
         # Coalesce same-arrival elements into the open batch: one closure and
         # one kernel event amortised over the batch. The batch closes when it
         # fires, fills up, or a later arrival time starts a new one.
@@ -130,6 +134,7 @@ class PhysicalChannel:
     def _deliver_batch(self, batch: list[StreamElement], epoch: int) -> None:
         if epoch != self.epoch:
             return  # stale in-flight data from before a connection reset
+        self._in_flight -= len(batch)
         if self._open_batch is batch:
             self._open_batch = None
         deliver = self.receiver.deliver
@@ -164,6 +169,7 @@ class PhysicalChannel:
         had_backlog = bool(self._backlog)
         self.epoch += 1
         self._backlog.clear()
+        self._in_flight = 0
         self.credits = self.spec.capacity
         self._open_batch = None
         self._open_batch_arrival = -1.0
@@ -192,6 +198,12 @@ class PhysicalChannel:
                 self.sender.output_unblocked()
 
     @property
+    def pending(self) -> int:
+        """Elements still travelling this link: scheduled in-flight plus the
+        sender-side backlog (rescale drain barriers wait for zero)."""
+        return self._in_flight + len(self._backlog)
+
+    @property
     def is_clear(self) -> bool:
         """True when the sender may keep producing (no parked elements)."""
         return not self._backlog
@@ -215,6 +227,11 @@ class OutputGate:
         self.channels = channels
         self._max_parallelism = max_parallelism
         self._round_robin = 0
+        #: optional :class:`~repro.load.routing.KeyRouter` consulted instead
+        #: of plain key-group routing (installed by live rescaling so hash
+        #: routing, migration predicates, and reroute closures agree); None
+        #: on the production path — the cost is one attribute test per emit
+        self.router: Any = None
 
     def targets_for(self, element: StreamElement) -> list[PhysicalChannel]:
         """Channels this element routes to under the gate's partitioning."""
@@ -236,7 +253,10 @@ class OutputGate:
         if len(self.channels) == 1:
             return [self.channels[0]]
         if self.partitioning is Partitioning.HASH:
-            index = subtask_for_key(element.key, len(self.channels), self._max_parallelism)
+            if self.router is not None:
+                index = self.router.owner_index(element.key)
+            else:
+                index = subtask_for_key(element.key, len(self.channels), self._max_parallelism)
             return [self.channels[index]]
         if self.partitioning is Partitioning.REBALANCE:
             index = self._round_robin % len(self.channels)
@@ -269,9 +289,13 @@ class OutputGate:
         """
         n_channels = len(self.channels)
         max_parallelism = self._max_parallelism
+        router = self.router
         parts: dict[int, list[int]] = {}
         for i, key in enumerate(batch.iter_keys()):
-            target = subtask_for_key(key, n_channels, max_parallelism)
+            if router is not None:
+                target = router.owner_index(key)
+            else:
+                target = subtask_for_key(key, n_channels, max_parallelism)
             rows = parts.get(target)
             if rows is None:
                 parts[target] = [i]

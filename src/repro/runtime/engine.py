@@ -137,6 +137,18 @@ class Engine:
         #: edge-index → {sender task name → OutputGate}; maintained for
         #: dynamic rewiring (rescaling, dynamic topologies)
         self.edge_gates: dict[int, dict[str, OutputGate]] = {}
+        #: node_id → KeyRouter for nodes that have been live-rescaled or
+        #: hot-split; gates, migration, and reroute closures all consult the
+        #: same router so routing stays consistent (see repro.load.routing)
+        self.key_routers: dict[int, Any] = {}
+        #: node_ids whose parallelism has diverged from the plan; global
+        #: restore must redistribute checkpointed state across the *current*
+        #: tasks instead of assuming the checkpoint-time layout
+        self.rescaled_nodes: set[int] = set()
+        #: node_id → channels into subtasks retired by a scale-in; records
+        #: can still be travelling these popped links, and a rescaled node's
+        #: EOS drain barrier waits until they land (and get rerouted)
+        self.retired_channels: dict[int, list] = {}
         #: task name → factory rebuilding its operator (chained tasks need
         #: the whole fused pipeline, not one member) / its state backend
         self._task_factories: dict[str, Callable[[], Operator]] = {}
@@ -789,6 +801,14 @@ class Engine:
             if isinstance(sink, TransactionalSink):
                 sink.on_recovery()
         self._restore_tasks(self._planned_tasks(), record)
+        if self.rescaled_nodes:
+            # The checkpoint predates a rescale: its snapshots are keyed by
+            # the capture-time layout, so restored state must be re-homed to
+            # the current owners (and retired tasks revived as finished).
+            # Late import: the engine module must not depend on load/.
+            from repro.load.migration import redistribute_after_restore
+
+            redistribute_after_restore(self, record)
 
     def recover_region(self, task_names: list[str], checkpoint_id: int | None = None) -> float:
         """Partial (failover-region) restart, Flink FLIP-1 style.

@@ -36,6 +36,7 @@ from repro.core.events import (
     Watermark,
 )
 from repro.checkpoint.incremental import IncrementalSnapshotter
+from repro.core.keys import key_group_for
 from repro.core.operators.base import Operator, OperatorContext
 from repro.errors import RuntimeStateError
 from repro.obs.profile import NULL_PROFILE_SCOPE, ProfileScope
@@ -251,6 +252,10 @@ class Task:
         self._proc_timer_registry: dict[int, _ProcTimer] = {}
 
         self._eos_channels: set[int] = set()
+        #: channel -> virtual time its EndOfStream was delivered (alignment
+        #: uses this to tell "finished before the barrier was injected" from
+        #: "barrier lost in flight")
+        self._eos_at: dict[int, float] = {}
         self.finished = False
         self.dead = False
         self.incarnation = 0
@@ -266,6 +271,7 @@ class Task:
         # checkpoint alignment
         self._align_id: int | None = None
         self._align_seen: set[int] = set()
+        self._align_barrier: CheckpointBarrier | None = None
         self._align_buffer: list[_MailboxItem] = []
         self._blocked_inputs: set[int] = set()
         self.last_snapshot: TaskSnapshot | None = None
@@ -308,6 +314,7 @@ class Task:
                 self._flush_outputs()
         self._feedback_channels.discard(channel_index)
         self._eos_channels.add(channel_index)
+        self._eos_at.setdefault(channel_index, self.kernel.now())
 
     def attach_obs(self, obs: "Observability") -> None:
         """Bind the engine's observability bundle; tracer/profiler refs are
@@ -331,6 +338,32 @@ class Task:
     #: when set (by live migration), maps a key to its owning Task so
     #: in-flight records routed under the old partitioning are forwarded
     reroute: Any = None
+    #: when set (by the autoscaler's hot-key detector), counts processed
+    #: records per key group: {key_group: count}. None on the production
+    #: path — the cost is one attribute test per record.
+    _keygroup_counts: Any = None
+    _keygroup_maxp: int = 0
+    #: True while a finished task has been reopened to absorb live-migration
+    #: stragglers (records rerouted to it after it saw end-of-stream); the
+    #: task re-finishes once its mailbox drains again
+    _reopened: bool = False
+    #: when set (by live migration), a callable ``(task) -> bool`` that is
+    #: True once no sibling or retired input link of the rescaled node can
+    #: still produce a straggler for this task. A rescaled task holds back
+    #: its end-of-stream until the predicate holds, so downstream never sees
+    #: a final EOS with rerouted records still in flight behind it.
+    rescale_group_ready: Any = None
+
+    def enable_keygroup_tracking(self, max_parallelism: int) -> None:
+        """Start counting processed records per key group (hot-key skew
+        detection); idempotent."""
+        if self._keygroup_counts is None:
+            self._keygroup_counts = {}
+        self._keygroup_maxp = max_parallelism
+
+    def disable_keygroup_tracking(self) -> None:
+        """Stop counting and drop the histogram."""
+        self._keygroup_counts = None
 
     def deliver(self, channel_index: int, element: StreamElement, via: Any = None) -> None:
         """Channel callback: enqueue an element (dropped/parked when down)."""
@@ -349,18 +382,20 @@ class Task:
         if channel_index in self._feedback_channels and not self.finished and not self.dead:
             self._feedback_deliveries = getattr(self, "_feedback_deliveries", 0) + 1
         if self.finished:
-            # A retired (scaled-in) task still forwards misrouted records.
+            # A retired (scaled-in) task still forwards misrouted records;
+            # an owner that already finished reopens (enqueue_local) so the
+            # straggler is folded into the state that migrated to it.
             if self.reroute is not None:
                 if isinstance(element, Record) and element.key is not None:
                     owner = self.reroute(element.key)
-                    if owner is not None and owner is not self:
+                    if owner is not None:
                         owner.enqueue_local(element)
                 elif isinstance(element, RecordBatch):
                     for record in element.records():
                         if record.key is None:
                             continue
                         owner = self.reroute(record.key)
-                        if owner is not None and owner is not self:
+                        if owner is not None:
                             owner.enqueue_local(record)
             if via is not None:
                 via.return_credit()
@@ -371,8 +406,17 @@ class Task:
     def enqueue_local(self, element: StreamElement | _ProcTimer, channel_index: int = -1) -> None:
         """Inject an element bypassing channels (timers, dynamic topologies,
         function-runtime deliveries)."""
-        if self.dead or self.finished:
+        if self.dead:
             return
+        if self.finished:
+            # After a live rescale, a new owner can see end-of-stream before
+            # sibling subtasks finish draining records that now belong to it.
+            # Reopen for those stragglers — the task re-finishes (flushing
+            # and re-forwarding EOS, both idempotent) once it drains again.
+            if self.reroute is None or not isinstance(element, (Record, RecordBatch)):
+                return
+            self.finished = False
+            self._reopened = True
         self._mailbox.append(_MailboxItem(channel_index, element))
         self._maybe_schedule()
 
@@ -382,6 +426,10 @@ class Task:
         if self._busy or self._output_blocked or self.dead or self.finished:
             return
         if not self._mailbox:
+            if self._reopened:
+                # Reopened straggler backlog drained: finish again.
+                self._reopened = False
+                self._finish_task()
             return
         self._busy = True
         incarnation = self.incarnation
@@ -467,6 +515,10 @@ class Task:
                     owner.enqueue_local(element)
                     return 0.0
             self.metrics.records_in += 1
+            counts = self._keygroup_counts
+            if counts is not None and element.key is not None:
+                group = key_group_for(element.key, self._keygroup_maxp)
+                counts[group] = counts.get(group, 0) + 1
             if element.trace is not None and self._tracer is not None:
                 self._active_span = self._tracer.begin(self.name, element.trace, self.kernel.now())
                 self._trace_mark = len(self._pending_output)
@@ -481,6 +533,13 @@ class Task:
                 return 0.0
             record_units = len(element)
             self.metrics.records_in += record_units
+            counts = self._keygroup_counts
+            if counts is not None:
+                maxp = self._keygroup_maxp
+                for key in element.iter_keys():
+                    if key is not None:
+                        group = key_group_for(key, maxp)
+                        counts[group] = counts.get(group, 0) + 1
             self.operator.process_batch(element, self.ctx)
         elif isinstance(element, Watermark):
             self.metrics.watermarks_in += 1
@@ -573,6 +632,15 @@ class Task:
         if channel_index in self._feedback_channels:
             return
         self._eos_channels.add(channel_index)
+        self._eos_at.setdefault(channel_index, self.kernel.now())
+        if (
+            self._align_id is not None
+            and self._align_barrier is not None
+            and self._alignment_covered(self._align_barrier)
+        ):
+            # The channels still owing a barrier just finished instead:
+            # complete the round now rather than wedging on them forever.
+            self._complete_alignment(self._align_barrier)
         data_channels = self.input_channel_count - len(self._feedback_channels)
         if len(self._eos_channels) < max(1, data_channels):
             return
@@ -583,7 +651,55 @@ class Task:
             # mailbox across several consecutive probes).
             self._begin_feedback_drain()
             return
-        self._finish_task()
+        self._request_finish()
+
+    def _request_finish(self) -> None:
+        """Finish now — or, on a rescaled node, once the sibling group has
+        quiesced (no sibling can still reroute a record here)."""
+        if self.rescale_group_ready is not None:
+            self._begin_rescale_drain()
+        else:
+            self._finish_task()
+
+    #: probe interval for the rescale group-quiescence drain
+    _RESCALE_PROBE_INTERVAL = 0.002
+
+    def _rescale_quiescent(self) -> bool:
+        """True when this task can produce no further reroute stragglers:
+        every input channel fully drained (EOS seen) and nothing queued."""
+        if self.dead or self.finished:
+            return True
+        data_channels = self.input_channel_count - len(self._feedback_channels)
+        return (
+            len(self._eos_channels) >= max(1, data_channels)
+            and not self._mailbox
+            and not self._busy
+            and not self._align_buffer
+        )
+
+    def _begin_rescale_drain(self) -> None:
+        if getattr(self, "_rescale_draining", False):
+            return
+        self._rescale_draining = True
+        incarnation = self.incarnation
+
+        def probe() -> None:
+            if incarnation != self.incarnation or self.dead or self.finished:
+                self._rescale_draining = False
+                return
+            ready = self.rescale_group_ready
+            if (
+                not self._mailbox
+                and not self._busy
+                and not self._align_buffer
+                and (ready is None or ready(self))
+            ):
+                self._rescale_draining = False
+                self._finish_task()
+            else:
+                self.kernel.call_after(self._RESCALE_PROBE_INTERVAL, probe)
+
+        self.kernel.call_after(self._RESCALE_PROBE_INTERVAL, probe)
 
     #: probes and consecutive-quiet-rounds required to declare a loop drained
     _DRAIN_PROBE_INTERVAL = 0.05
@@ -643,6 +759,23 @@ class Task:
     # ------------------------------------------------------------------
     # barriers & snapshots
     # ------------------------------------------------------------------
+    def _alignment_covered(self, barrier: CheckpointBarrier) -> bool:
+        """All data channels accounted for: a barrier arrived, or the
+        channel was already EOS *before the barrier was injected* (a
+        finished upstream — e.g. a subtask retired by a scale-in — can
+        never forward a round triggered after it ended, so waiting on it
+        would wedge the round forever). An EOS arriving *after* injection
+        does not count: a live upstream forwards the barrier ahead of its
+        EOS, so barrier-less EOS there means the barrier was lost in
+        flight and completing would snapshot an inconsistent cut."""
+        data_channels = self.input_channel_count - len(self._feedback_channels)
+        pre_barrier_eos = {
+            channel
+            for channel in self._eos_channels
+            if self._eos_at.get(channel, float("inf")) <= barrier.timestamp
+        }
+        return len(self._align_seen | pre_barrier_eos) >= data_channels
+
     def _handle_barrier(self, channel_index: int, barrier: CheckpointBarrier) -> None:
         data_channels = self.input_channel_count - len(self._feedback_channels)
         if data_channels <= 1 or self.align_unaligned:
@@ -650,10 +783,12 @@ class Task:
                 self._align_id = barrier.checkpoint_id
                 self._align_seen = set()
             self._align_seen.add(channel_index)
-            if self.align_unaligned and len(self._align_seen) < data_channels:
+            if self.align_unaligned and not self._alignment_covered(barrier):
+                self._align_barrier = barrier
                 return
             self._snapshot_and_forward(barrier)
             self._align_id = None
+            self._align_barrier = None
             return
         # Aligned mode with multiple inputs: block this channel until all
         # barriers arrive.
@@ -661,14 +796,19 @@ class Task:
             self._align_id = barrier.checkpoint_id
             self._align_seen = set()
         self._align_seen.add(channel_index)
+        self._align_barrier = barrier
         self._blocked_inputs.add(channel_index)
-        if len(self._align_seen) >= data_channels:
-            self._snapshot_and_forward(barrier)
-            self._blocked_inputs.clear()
-            self._align_id = None
-            # Re-inject buffered elements ahead of the rest of the mailbox.
-            self._mailbox.extendleft(reversed(self._align_buffer))
-            self._align_buffer = []
+        if self._alignment_covered(barrier):
+            self._complete_alignment(barrier)
+
+    def _complete_alignment(self, barrier: CheckpointBarrier) -> None:
+        self._snapshot_and_forward(barrier)
+        self._blocked_inputs.clear()
+        self._align_id = None
+        self._align_barrier = None
+        # Re-inject buffered elements ahead of the rest of the mailbox.
+        self._mailbox.extendleft(reversed(self._align_buffer))
+        self._align_buffer = []
 
     def cancel_alignment(self, checkpoint_id: int) -> None:
         """Abort a pending barrier alignment (the coordinator gave up on
@@ -677,6 +817,7 @@ class Task:
         if self._align_id != checkpoint_id:
             return
         self._align_id = None
+        self._align_barrier = None
         self._blocked_inputs.clear()
         self._mailbox.extendleft(reversed(self._align_buffer))
         self._align_buffer = []
@@ -840,6 +981,7 @@ class Task:
         self._align_buffer.clear()
         self._blocked_inputs.clear()
         self._align_id = None
+        self._align_barrier = None
         self._pending_output.clear()
         self._event_timers.clear()
         self._pending_proc_timers.clear()
@@ -888,8 +1030,16 @@ class Task:
             self.state_backend = state_backend
         self.dead = False
         self.finished = False
+        self._reopened = False
         self.metrics.mark_up(self.kernel.now())
         self._eos_channels.clear()
+        self._eos_at.clear()
+        # Channels retired by a scale-in stay retired through recovery: no
+        # sender exists to ever re-send their end-of-stream.
+        now = self.kernel.now()
+        for channel_index in getattr(self, "_retired_channels", ()):
+            self._eos_channels.add(channel_index)
+            self._eos_at[channel_index] = now
         self._merger = WatermarkMerger(0)
         old_slots = sorted(self._merger_slots)
         self._merger_slots = {}
