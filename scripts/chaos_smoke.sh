@@ -6,12 +6,15 @@
 # prints a copy-pasteable minimal reproducer and fails the script.
 # Usage: scripts/chaos_smoke.sh [--seed N] [--schedules K]
 #          [--mode default|supervised|both] [--obs] [--incremental]
-#          [--columnar] [--rescale]
+#          [--columnar] [--rescale] [--txn]
 # --obs runs with latency markers + tracing on; --incremental checkpoints
 # via base+delta chains; --columnar transports record-batches end to end —
 # none of the three may change any verdict. --rescale swaps in the
 # rescale-chaos grid: live key-group migrations interleaved with the fault
-# palette, under the same oracles.
+# palette, under the same oracles. --txn swaps in the transactional grid:
+# multi-partition transfers over shared TxnStateStores, judged by the
+# serializability oracle (serial replay + conflict-graph acyclicity +
+# balance conservation) on top of the standard suite.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -23,6 +23,11 @@ Built-in oracles:
   counters and histogram counts are monotone in kernel time, channels never
   report more deliveries than sends, and (on conservative topologies under
   a non-lossy palette) records are conserved source → sink.
+* :class:`SerializabilityOracle` — the committed history of a shared
+  transactional store is equivalent to a serial execution: commit-order
+  replay reproduces every recorded read and the final state, the WW/WR/RW
+  conflict graph is acyclic, effects are exactly-once, and a user invariant
+  (e.g. balance conservation) holds at every probe instant.
 """
 
 from __future__ import annotations
@@ -460,6 +465,193 @@ class MetricInvariantOracle(Oracle):
                 )
             )
         return violations
+
+
+class SerializabilityOracle(Oracle):
+    """The committed history of a :class:`~repro.txn.store.TxnStateStore`
+    must be equivalent to a serial execution, under any fault schedule.
+
+    Three checks at finish (plus the invariant at every probe):
+
+    * **serial replay** — replaying the committed writes in commit order
+      must reproduce every transaction's *recorded external reads* (key,
+      version, value) and end in exactly the store's committed state. If
+      every read matches the commit-order replay, commit order itself is an
+      equivalent serial schedule — a direct witness of serializability (and
+      of state-level exactly-once across recoveries);
+    * **conflict-graph acyclicity** — WW/WR/RW edges derived from per-key
+      versions must form a DAG (an independent proof over the same history);
+    * **effect uniqueness** — each op id commits at most once, unless the
+      schedule injected DUPLICATE faults (then a replayed input record may
+      legitimately commit twice, mirroring the delivery relaxation).
+
+    ``invariant(committed_items) -> str | None`` (e.g. balance conservation)
+    is evaluated at kernel time against the committed view, so a torn or
+    non-atomic commit is caught while it is visible, not just post-hoc.
+    """
+
+    name = "serializability"
+
+    def __init__(
+        self,
+        store: Any,
+        invariant: Callable[[dict], str | None] | None = None,
+        schedule: FaultSchedule | None = None,
+    ) -> None:
+        self._store = store
+        self._invariant = invariant
+        self._schedule = schedule
+
+    # -- probes ---------------------------------------------------------
+    def _check_invariant(self, engine: "Engine") -> list[OracleViolation]:
+        if self._invariant is None:
+            return []
+        message = self._invariant(self._store.committed_items())
+        if message:
+            return [self._violation(engine, f"invariant violated: {message}")]
+        return []
+
+    def probe(self, engine: "Engine") -> list[OracleViolation]:
+        return self._check_invariant(engine)
+
+    # -- finish ---------------------------------------------------------
+    def finish(self, engine: "Engine") -> list[OracleViolation]:
+        violations = self._check_invariant(engine)
+        history = self._store.history
+        allow_duplicates = self._schedule is not None and bool(
+            self._schedule.kinds() & DUPLICATING_KINDS
+        )
+        if not allow_duplicates:
+            seen: dict[Any, int] = {}
+            for entry in history:
+                if entry.op_id in seen:
+                    violations.append(
+                        self._violation(
+                            engine,
+                            f"op {entry.op_id!r} committed twice (seq "
+                            f"{seen[entry.op_id]} and {entry.seq}) without "
+                            "DUPLICATE faults in the schedule",
+                        )
+                    )
+                seen.setdefault(entry.op_id, entry.seq)
+        violations.extend(self._check_serial_replay(engine, history))
+        cycle = self._conflict_cycle(history)
+        if cycle is not None:
+            violations.append(
+                self._violation(
+                    engine,
+                    f"conflict graph is cyclic: {' -> '.join(str(s) for s in cycle)}",
+                )
+            )
+        return violations
+
+    def _check_serial_replay(
+        self, engine: "Engine", history: list
+    ) -> list[OracleViolation]:
+        violations = []
+        state: dict[Any, tuple[int, Any]] = {}  # key -> (version, value)
+        for entry in history:
+            for key, version, value in entry.reads:
+                current = state.get(key)
+                if version == 0:
+                    if current is not None:
+                        violations.append(
+                            self._violation(
+                                engine,
+                                f"seq {entry.seq} (op {entry.op_id!r}) read "
+                                f"{key!r} as uncommitted but serial replay "
+                                f"holds version {current[0]}",
+                            )
+                        )
+                elif current is None or current[0] != version or repr(current[1]) != repr(value):
+                    violations.append(
+                        self._violation(
+                            engine,
+                            f"seq {entry.seq} (op {entry.op_id!r}) read "
+                            f"{key!r}@v{version}={value!r} but serial replay "
+                            f"holds {current!r}",
+                        )
+                    )
+            for key, version, value in entry.writes:
+                previous = state.get(key, (0, None))[0]
+                if version != previous + 1:
+                    violations.append(
+                        self._violation(
+                            engine,
+                            f"seq {entry.seq} writes {key!r}@v{version} but "
+                            f"serial replay is at v{previous} (version gap)",
+                        )
+                    )
+                state[key] = (version, value)
+        final = self._store.committed_items()
+        replayed = {key: value for key, (_version, value) in state.items()}
+        if {repr(k): repr(v) for k, v in final.items()} != {
+            repr(k): repr(v) for k, v in replayed.items()
+        }:
+            missing = set(map(repr, replayed)) ^ set(map(repr, final))
+            violations.append(
+                self._violation(
+                    engine,
+                    "committed state diverges from the serial replay of its "
+                    f"own history (differing keys: {sorted(missing) or 'values only'})",
+                )
+            )
+        return violations
+
+    def _conflict_cycle(self, history: list) -> list | None:
+        """Find a cycle in the WW/WR/RW conflict graph (None if a DAG)."""
+        writer: dict[tuple, int] = {}
+        readers: dict[tuple, list[int]] = {}
+        for entry in history:
+            for key, version, _value in entry.writes:
+                writer[(key, version)] = entry.seq
+            for key, version, _value in entry.reads:
+                if version > 0:
+                    readers.setdefault((key, version), []).append(entry.seq)
+        edges: dict[int, set[int]] = {}
+
+        def add_edge(a: int, b: int) -> None:
+            if a != b:
+                edges.setdefault(a, set()).add(b)
+
+        for (key, version), seq in writer.items():
+            next_writer = writer.get((key, version + 1))
+            if next_writer is not None:
+                add_edge(seq, next_writer)  # WW
+            for reader in readers.get((key, version), ()):  # WR
+                add_edge(seq, reader)
+        for (key, version), seqs in readers.items():
+            next_writer = writer.get((key, version + 1))
+            if next_writer is not None:
+                for reader in seqs:  # RW
+                    add_edge(reader, next_writer)
+        # Iterative three-color DFS.
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: dict[int, int] = {}
+        for start in sorted(edges):
+            if color.get(start, WHITE) is not WHITE:
+                continue
+            stack: list[tuple[int, Any]] = [(start, iter(sorted(edges.get(start, ()))))]
+            color[start] = GRAY
+            path = [start]
+            while stack:
+                node, children = stack[-1]
+                advanced = False
+                for child in children:
+                    state_c = color.get(child, WHITE)
+                    if state_c is GRAY:
+                        return path[path.index(child):] + [child]
+                    if state_c is WHITE:
+                        color[child] = GRAY
+                        path.append(child)
+                        stack.append((child, iter(sorted(edges.get(child, ())))))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = BLACK
+                    path.pop()
+                    stack.pop()
+        return None
 
 
 def standard_oracles() -> list[Oracle]:

@@ -67,6 +67,9 @@ class ChaosReport:
     #: ``engine.metrics.recovery.summary()`` of the run (supervised sweeps
     #: read MTTR / restart counts / degraded time from here)
     recovery: dict = field(default_factory=dict)
+    #: per-store digest of committed history + state at the end of the run —
+    #: the byte-identity witness for same-seed reruns of txn scenarios
+    txn_digests: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -176,7 +179,8 @@ class ChaosRunner:
                     schedule, conserves_records=self.scenario.conserves_records
                 ),
                 outcome,
-            ],
+            ]
+            + list(run.oracles),
             probe_interval=self.probe_interval,
         )
         suite.install(engine)
@@ -192,6 +196,9 @@ class ChaosRunner:
             job_failed=engine.job_failed,
             failure_reason=engine.failure_reason,
             recovery=engine.metrics.recovery.summary(),
+            txn_digests={
+                name: store.digest() for name, store in engine.txn_stores.items()
+            },
         )
 
     def sweep(self) -> list[ChaosReport]:

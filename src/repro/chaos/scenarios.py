@@ -48,6 +48,9 @@ class ScenarioRun:
     engine: Engine
     expected: list[Any]
     observed: Callable[[], list[Any]]
+    #: extra scenario-specific oracles (e.g. a SerializabilityOracle bound
+    #: to the run's shared transactional store) the runner adds to the suite
+    oracles: list[Any] = field(default_factory=list)
 
 
 #: (chaining_enabled, channel_batch_size, same_time_bucket)
@@ -380,6 +383,169 @@ def rescale_shuffle(level: GuaranteeLevel = GuaranteeLevel.EXACTLY_ONCE) -> Scen
         config_overrides={"flow_control": True},
         conserves_records=True,
     )
+
+
+# ----------------------------------------------------------------------
+# transactional shapes: multi-partition txns over one shared TxnStateStore
+# ----------------------------------------------------------------------
+_TXN_BALANCE = 100
+
+
+def _txn_conservation(items: dict[Any, Any]) -> str | None:
+    """Balance invariant: transfers move money, never create or destroy it,
+    so the committed table always sums to ``_TXN_BALANCE`` per account."""
+    if not items:
+        return None
+    total = sum(items.values())
+    want = _TXN_BALANCE * len(items)
+    if total != want:
+        return f"balance sum {total} != {want} over {len(items)} accounts"
+    return None
+
+
+def _transfer_body(handle: Any, value: Any) -> Any:
+    _kind, op_id, src, dst, amount = value
+    debit = handle.read(src, _TXN_BALANCE)
+    credit = handle.read(dst, _TXN_BALANCE)
+    handle.write(src, debit - amount)
+    handle.write(dst, credit + amount)
+    return op_id
+
+
+def _txn_ops_expected(ops: list[tuple]) -> list[Any]:
+    return [op[1] for op in ops]
+
+
+def _build_txn_scenario(
+    name: str,
+    ops: list[tuple],
+    keys_fn: Callable[[Any], Any],
+    body: Callable[[Any, Any], Any],
+    partitions: int = 4,
+    parallelism: int = 2,
+    rate: float = 2000.0,
+) -> Scenario:
+    """Common harness for the transactional shapes: a shared store of
+    ``partitions`` partitions behind ``parallelism`` transact subtasks, an
+    exactly-once sink observing the committed op ids, a serializability
+    oracle bound to the run's store, and a fault palette that includes kill
+    and barrier loss (the two that stress the atomic-cut and unwedge
+    paths). DUPLICATE/DROP stay out: exactly-once configs never tolerate
+    them, matching the other exactly-once shapes."""
+    from repro.chaos.oracles import SerializabilityOracle
+    from repro.txn.store import TxnStateStore
+
+    expected = _txn_ops_expected(ops)
+
+    def build(config: EngineConfig) -> ScenarioRun:
+        sink, observed = _make_sink(GuaranteeLevel.EXACTLY_ONCE)
+        env = StreamExecutionEnvironment(config, name=f"chaos-{name}")
+        store = TxnStateStore(f"{name}-store", partitions=partitions)
+        (
+            env.from_workload(CollectionWorkload(ops, rate=rate), name="src")
+            .transact(
+                body,
+                keys_fn=keys_fn,
+                store=store,
+                op_id_fn=lambda v: v[1],
+                name="txn",
+                parallelism=parallelism,
+            )
+            .sink(sink, name="out", parallelism=1)
+        )
+        return ScenarioRun(
+            env.build(),
+            list(expected),
+            observed,
+            oracles=[SerializabilityOracle(store, invariant=_txn_conservation)],
+        )
+
+    return Scenario(
+        name=f"{name}/exactly_once",
+        level=GuaranteeLevel.EXACTLY_ONCE,
+        build=build,
+        palette=PaletteConfig(
+            kinds=(KILL, DELAY, STALL, BARRIER_LOSS), window=0.12, max_magnitude=0.03
+        ),
+        conserves_records=True,
+    )
+
+
+def txn_transfer() -> Scenario:
+    """Cross-partition account transfers: every txn read-modify-writes two
+    accounts that usually live in different store partitions, so commits pay
+    the multi-partition cost and snapshots need the whole-store fence."""
+    accounts = [f"acct-{i}" for i in range(8)]
+    ops = []
+    for i in range(160):
+        src = accounts[(i * 5) % len(accounts)]
+        dst = accounts[(i * 5 + 3) % len(accounts)]
+        ops.append(("xfer", f"t{i}", src, dst, 1 + (i % 9)))
+    return _build_txn_scenario(
+        "txn-transfer", ops, keys_fn=lambda v: [v[2], v[3]], body=_transfer_body
+    )
+
+
+def txn_hot_account() -> Scenario:
+    """Contention shape: every transfer touches one hot account, so X-lock
+    queues are always populated — ordered acquisition must stay deadlock-free
+    and strict-FIFO fair while kills and lost barriers land mid-queue."""
+    spread = [f"acct-{i}" for i in range(6)]
+    ops = []
+    for i in range(140):
+        other = spread[(i * 7) % len(spread)]
+        src, dst = ("hot", other) if i % 2 == 0 else (other, "hot")
+        ops.append(("xfer", f"h{i}", src, dst, 1 + (i % 5)))
+    return _build_txn_scenario(
+        "txn-hot-account", ops, keys_fn=lambda v: [v[2], v[3]], body=_transfer_body
+    )
+
+
+def txn_mixed_readonly() -> Scenario:
+    """Mixed workload: transfers interleaved with read-only audits that
+    S-lock three accounts. Shared grants batch behind exclusive writers;
+    the serial replay cross-checks every audited balance against the
+    committed history."""
+    accounts = [f"acct-{i}" for i in range(8)]
+    ops: list[tuple] = []
+    for i in range(150):
+        if i % 3 == 2:
+            base = (i * 3) % len(accounts)
+            ops.append(
+                (
+                    "audit",
+                    f"a{i}",
+                    accounts[base],
+                    accounts[(base + 2) % len(accounts)],
+                    accounts[(base + 5) % len(accounts)],
+                )
+            )
+        else:
+            src = accounts[(i * 3) % len(accounts)]
+            dst = accounts[(i * 3 + 4) % len(accounts)]
+            ops.append(("xfer", f"m{i}", src, dst, 1 + (i % 7)))
+
+    def body(handle: Any, value: Any) -> Any:
+        if value[0] == "audit":
+            _kind, op_id, *keys = value
+            for key in keys:
+                handle.read(key, _TXN_BALANCE)
+            return op_id
+        return _transfer_body(handle, value)
+
+    def keys_fn(value: Any) -> Any:
+        if value[0] == "audit":
+            return (tuple(value[2:]), ())  # reads only: shared locks
+        return [value[2], value[3]]
+
+    return _build_txn_scenario("txn-mixed-readonly", ops, keys_fn=keys_fn, body=body)
+
+
+def txn_scenarios() -> list[Scenario]:
+    """The transactional grid: three shapes of serializable multi-partition
+    transactions over shared state, each judged by the serializability
+    oracle under a palette that includes kill and barrier loss."""
+    return [txn_transfer(), txn_hot_account(), txn_mixed_readonly()]
 
 
 # ----------------------------------------------------------------------

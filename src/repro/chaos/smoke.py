@@ -19,6 +19,7 @@ from repro.chaos.scenarios import (
     rescale_scenarios,
     standard_scenarios,
     supervised_scenarios,
+    txn_scenarios,
 )
 
 #: smoke matrix: the two extreme dispatch configurations — everything off,
@@ -70,6 +71,13 @@ def main(argv: list[str] | None = None) -> int:
         "forces incremental checkpoints so delta-chain handoff is covered)",
     )
     parser.add_argument(
+        "--txn",
+        action="store_true",
+        help="sweep the transactional scenarios instead of the standard "
+        "grid (serializable multi-partition txns over a shared store, "
+        "judged by the serializability oracle under kill/barrier-loss)",
+    )
+    parser.add_argument(
         "--columnar",
         action="store_true",
         help="transport record-batches end to end (columnar execution; "
@@ -84,6 +92,11 @@ def main(argv: list[str] | None = None) -> int:
         # delta-chain state handoff under faults.
         modes = ("default",)
         args.incremental = True
+    if args.txn:
+        # Transactional sweeps run unsupervised: a shared store couples
+        # failover regions, so the fixed policy's global recovery is the
+        # correct scope (the region-coupling guard is tested separately).
+        modes = ("default",)
     started = time.monotonic()
     failures = 0
     cells = 0
@@ -91,6 +104,8 @@ def main(argv: list[str] | None = None) -> int:
         supervised = mode == "supervised"
         if args.rescale:
             scenarios = rescale_scenarios()
+        elif args.txn:
+            scenarios = txn_scenarios()
         else:
             scenarios = supervised_scenarios() if supervised else standard_scenarios()
         for scenario in scenarios:

@@ -199,6 +199,51 @@ class DataStream:
         """Attach a custom operator (window, CEP, OOO buffer, ...)."""
         return self._connect(name, operator_factory, **kwargs)
 
+    def transact(
+        self,
+        body: Callable[[Any, Any], Any],
+        keys_fn: Callable[[Any], Any] | None = None,
+        store: Any = None,
+        name: str = "transact",
+        parallelism: int | None = None,
+        op_id_fn: Callable[[Any], Any] | None = None,
+        txn_config: Any = None,
+        partitions: int | None = None,
+        **kwargs: Any,
+    ) -> "DataStream":
+        """Run each record as one ACID transaction over shared state.
+
+        ``body(handle, value)`` reads/writes a :class:`~repro.txn.store.
+        TxnStateStore` shared by all subtasks of this node, atomically and
+        serializably; ``keys_fn(value) -> (read_keys, write_keys)`` declares
+        the key set (required for ordered locking). Pass ``store`` to share
+        an existing store or keep a handle; otherwise one is created with
+        ``partitions`` (default: the node's parallelism) and ``txn_config``.
+        The node is excluded from operator chaining — the runtime drives
+        its barrier fence and deferred commits directly.
+        """
+        from repro.txn.operator import TransactOperator
+        from repro.txn.store import TxnConfig, TxnStateStore
+
+        parallelism = parallelism if parallelism is not None else self.node.parallelism
+        if store is None:
+            store = TxnStateStore(
+                self.env.unique_name(f"{name}-store"),
+                partitions=partitions if partitions is not None else max(1, parallelism),
+                config=txn_config or TxnConfig(),
+            )
+        options = dict(kwargs.pop("options", None) or {})
+        options["no_chain"] = True
+        stream = self._connect(
+            name,
+            lambda: TransactOperator(store, body, keys_fn, op_id_fn, name),
+            parallelism=parallelism,
+            options=options,
+            **kwargs,
+        )
+        stream.txn_store = store
+        return stream
+
     def key_by(self, selector: KeySelector, name: str = "key_by", parallelism: int | None = None) -> "KeyedStream":
         """Partition the stream by ``selector``; downstream edges use HASH routing."""
         stream = self._connect(

@@ -24,6 +24,9 @@ from repro.runtime.engine import Engine
 from repro.state.api import StateDescriptor
 
 
+_ALL_KEYS = object()
+
+
 @dataclass
 class QueryResult:
     key: Any
@@ -86,6 +89,24 @@ class QueryableStateService:
             return answer()
         self.engine.kernel.call_after(self.query_latency, lambda: callback(answer()))
         return None
+
+    # ------------------------------------------------------------------
+    def query_txn(self, store_name: str, key: Any = _ALL_KEYS, default: Any = None) -> Any:
+        """Point query against a shared transactional store.
+
+        Serves the *committed* view: a transaction's own writes become
+        visible the instant its commit completes (read-your-writes across
+        the external interface), while uncommitted writes are never
+        observable — the undo overlay is applied, so an in-flight txn can't
+        leak torn state the way ``direct`` keyed-state reads can. With no
+        ``key`` the merged committed table is returned."""
+        store = self.engine.txn_stores.get(store_name)
+        if store is None:
+            raise QueryableStateError(f"unknown transactional store {store_name!r}")
+        self.queries_served += 1
+        if key is _ALL_KEYS:
+            return store.committed_items()
+        return store.committed_get(key, default)
 
     # ------------------------------------------------------------------
     def query_metrics(self, fragment: str | None = None) -> dict[str, Any]:

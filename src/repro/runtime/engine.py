@@ -155,6 +155,9 @@ class Engine:
         self._task_backend_factories: dict[str, Callable[[], Any]] = {}
         #: chain member node_id → fused group (head first); heads map too
         self._chained_nodes: dict[int, list[LogicalNode]] = {}
+        #: store name → TxnStateStore; transactional operators register on
+        #: open so queryable state and recovery can reach shared stores
+        self.txn_stores: dict[str, Any] = {}
         #: incremental checkpoint mode: per-task base + delta snapshot chains
         #: (None when ``checkpoints.incremental`` is off); task backends are
         #: wrapped in IncrementalSnapshotters during planning
@@ -234,7 +237,7 @@ class Engine:
         groups: list[list[LogicalNode]] = []
         fused: set[int] = set()
         for node in self.graph.topological_order():
-            if node.is_source or node.node_id in fused:
+            if node.is_source or node.node_id in fused or node.options.get("no_chain"):
                 continue
             group = [node]
             current = node
@@ -249,6 +252,7 @@ class Engine:
                 if (
                     target.is_source
                     or target.node_id in fused
+                    or target.options.get("no_chain")
                     or target.parallelism != current.parallelism
                     or target.state_backend_factory is not None
                     or len(self.graph.inputs_of(target.node_id)) != 1
@@ -780,6 +784,14 @@ class Engine:
         restart from scratch: empty state, sources rewound to offset zero),
         then restart emission on the sources among them. Shared by the
         global, regional and scratch recovery paths."""
+        if record is None and self.txn_stores:
+            # Restart from scratch: sources rewind to offset zero, so shared
+            # transactional stores must also reset — restore_snapshot(None)
+            # never reaches the operator's restore hook.
+            for store in self.txn_stores.values():
+                reset = getattr(store, "reset", None)
+                if reset is not None:
+                    reset()
         for task in tasks:
             snapshot = record.snapshots.get(task.name) if record is not None else None
             if isinstance(task, SourceTask):
@@ -865,6 +877,14 @@ class Engine:
                         "boundary; its uncommitted epochs cannot be discarded "
                         "regionally — escalate to global recovery"
                     )
+        if self.txn_stores and region_names != {t.name for t in self._planned_tasks()}:
+            # A shared transactional store couples every owner (and, through
+            # committed effects already emitted downstream, the whole plan):
+            # restoring a strict subset would fork the store's history.
+            raise RecoveryError(
+                "transactional state store couples failover regions — "
+                "escalate to global recovery"
+            )
         # Any restart aborts in-flight checkpoint persistence (the snapshot
         # being persisted no longer matches a running execution).
         self.execution_epoch += 1

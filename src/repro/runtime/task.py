@@ -119,6 +119,12 @@ class TaskContext(OperatorContext):
         return self._task.name
 
     @property
+    def task(self) -> "Task":
+        """The owning task — transactional operators bind their shared
+        store to it (gate hooks, out-of-band commit emission)."""
+        return self._task
+
+    @property
     def subtask_index(self) -> int:
         return self._task.subtask_index
 
@@ -353,6 +359,13 @@ class Task:
     #: its end-of-stream until the predicate holds, so downstream never sees
     #: a final EOS with rerouted records still in flight behind it.
     rescale_group_ready: Any = None
+    #: True while a transactional operator has a txn in flight (execute →
+    #: deferred commit): the mailbox — including checkpoint barriers — stays
+    #: queued, so a barrier can never be processed mid-transaction
+    _txn_hold: bool = False
+    #: checkpoint id this task is parked on awaiting the shared txn store's
+    #: whole-store fence capture (None when not parked)
+    _txn_parked: Any = None
 
     def enable_keygroup_tracking(self, max_parallelism: int) -> None:
         """Start counting processed records per key group (hot-key skew
@@ -422,6 +435,8 @@ class Task:
 
     def _maybe_schedule(self) -> None:
         if getattr(self, "_suspended", False):
+            return
+        if self._txn_hold or self._txn_parked is not None:
             return
         if self._busy or self._output_blocked or self.dead or self.finished:
             return
@@ -753,6 +768,10 @@ class Task:
         self.finished = True
         self.metrics.finished_at = self.kernel.now()
         self._flush_outputs()
+        gate = getattr(self.operator, "txn_gate", None)
+        if gate is not None:
+            # Fence rounds no longer wait on a drained owner.
+            gate.on_owner_finished(self)
         if self.engine is not None:
             self.engine.on_task_finished(self)
 
@@ -814,6 +833,16 @@ class Task:
         """Abort a pending barrier alignment (the coordinator gave up on
         ``checkpoint_id``): unblock the inputs and re-inject the buffered
         elements so a lost barrier cannot wedge the task forever."""
+        if self._txn_parked == checkpoint_id:
+            # Parked on the shared txn store's fence for this doomed round:
+            # withdraw from it and resume processing. Checked independently
+            # of ``_align_id`` — the single-input barrier path resets the
+            # align id right after parking.
+            self._txn_parked = None
+            gate = getattr(self.operator, "txn_gate", None)
+            if gate is not None:
+                gate.cancel_fence(self, checkpoint_id)
+            self._maybe_schedule()
         if self._align_id != checkpoint_id:
             return
         self._align_id = None
@@ -832,6 +861,14 @@ class Task:
         pre = getattr(self.operator, "on_barrier", None)
         if pre is not None:
             pre(barrier.checkpoint_id, self.ctx)
+        gate = getattr(self.operator, "txn_gate", None)
+        if gate is not None:
+            # Shared-store fence: park until every live owner of the txn
+            # store reaches this barrier, then the store captures the whole
+            # store once and resumes us via txn_resume_snapshot.
+            self._txn_parked = barrier.checkpoint_id
+            gate.request_fence(self, barrier)
+            return
         snapshot = self.take_snapshot(barrier.checkpoint_id)
         hook = getattr(self.operator, "on_checkpoint", None)
         if hook is not None:
@@ -839,6 +876,24 @@ class Task:
         if self.engine is not None:
             self.engine.on_task_snapshot(self, snapshot)
         self.collect_output(barrier)
+
+    def txn_resume_snapshot(self, barrier: CheckpointBarrier) -> None:
+        """The shared txn store completed its fence round: take this owner's
+        snapshot (the staged whole-store capture), forward the barrier, and
+        resume the mailbox. No-op if the park was cancelled or the task died
+        while the resume event was in flight."""
+        if self.dead or self.finished or self._txn_parked != barrier.checkpoint_id:
+            return
+        self._txn_parked = None
+        snapshot = self.take_snapshot(barrier.checkpoint_id)
+        hook = getattr(self.operator, "on_checkpoint", None)
+        if hook is not None:
+            hook(barrier.checkpoint_id)
+        if self.engine is not None:
+            self.engine.on_task_snapshot(self, snapshot)
+        self.collect_output(barrier)
+        self._flush_outputs()
+        self._maybe_schedule()
 
     def take_snapshot(self, checkpoint_id: int) -> TaskSnapshot:
         """Capture keyed state, operator state, timers and watermark.
@@ -988,6 +1043,15 @@ class Task:
         self._proc_timer_registry.clear()
         self._output_blocked = False
         self._active_span = None
+        self._txn_hold = False
+        self._txn_parked = None
+        gate = getattr(self.operator, "txn_gate", None)
+        if gate is not None:
+            # Abort this origin's in-flight txns and unwedge any fence round
+            # waiting on us — the engine clears the pending checkpoint on a
+            # kill without cancelling alignment, so parked siblings would
+            # otherwise hang forever.
+            gate.on_task_killed(self)
         # A dead task has no watermark: leaving the old value visible makes
         # the (killed -> reincarnated) window look like a watermark rewind
         # *inside* the new incarnation to any observer probing between the

@@ -1,9 +1,14 @@
-"""Streaming transactions (survey §4.2): 2PL manager, 2PC, sagas, S-Store ops."""
+"""Streaming transactions (survey §4.2): 2PL manager, 2PC, sagas, S-Store ops,
+and the engine-integrated transactional state store (``TxnStateStore`` +
+``DataStream.transact``)."""
 
 from repro.txn.manager import LockMode, Transaction, TransactionManager, TxnStatus
+from repro.txn.operator import TransactOperator, TxnHandle
 from repro.txn.saga import SagaExecutor, SagaReport, SagaStep
 from repro.txn.sstore import NonTransactionalOperator, TransactionalOperator
+from repro.txn.store import CommittedTxn, StoreCapture, StoreTxn, TxnConfig, TxnStateStore
 from repro.txn.twophase import (
+    AsyncParticipant,
     Decision,
     Participant,
     TwoPCResult,
@@ -12,6 +17,8 @@ from repro.txn.twophase import (
 )
 
 __all__ = [
+    "AsyncParticipant",
+    "CommittedTxn",
     "Decision",
     "LockMode",
     "NonTransactionalOperator",
@@ -19,11 +26,17 @@ __all__ = [
     "SagaExecutor",
     "SagaReport",
     "SagaStep",
+    "StoreCapture",
+    "StoreTxn",
+    "TransactOperator",
     "Transaction",
     "TransactionManager",
     "TransactionalOperator",
     "TwoPCResult",
     "TwoPhaseCoordinator",
+    "TxnConfig",
+    "TxnHandle",
+    "TxnStateStore",
     "TxnStatus",
     "Vote",
 ]

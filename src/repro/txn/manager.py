@@ -51,6 +51,23 @@ class TransactionManager:
         self._active: dict[int, Transaction] = {}
         self.committed = 0
         self.aborted = 0
+        self.retried = 0
+        self._metrics: dict[str, Any] | None = None
+
+    # ------------------------------------------------------------------
+    def bind_metrics(self, registry: Any, prefix: str) -> None:
+        """Publish commit/abort/retry counters and the lock-wait histogram
+        under ``prefix`` (conventionally ``{job}/txn/{name}/0``) so
+        ``metrics_snapshot()`` / ``query_metrics`` expose them. Under
+        NO-WAIT every successful acquisition waits exactly 0 s — the
+        histogram makes that visible rather than assumed."""
+        self._metrics = {
+            "commits": registry.counter(f"{prefix}/commits"),
+            "aborts": registry.counter(f"{prefix}/aborts"),
+            "retries": registry.counter(f"{prefix}/retries"),
+            "lock_wait": registry.histogram(f"{prefix}/lock_wait_seconds"),
+        }
+        registry.gauge(f"{prefix}/active", lambda: len(self._active))
 
     # ------------------------------------------------------------------
     def begin(self) -> Transaction:
@@ -81,6 +98,8 @@ class TransactionManager:
             )
         holders[txn.txn_id] = mode
         txn.locks[key] = mode
+        if self._metrics is not None:
+            self._metrics["lock_wait"].record(0.0)
 
     # ------------------------------------------------------------------
     def read(self, txn: Transaction, key: Any, default: Any = None) -> Any:
@@ -107,6 +126,8 @@ class TransactionManager:
         self._release(txn)
         self._active.pop(txn.txn_id, None)
         self.committed += 1
+        if self._metrics is not None:
+            self._metrics["commits"].inc()
 
     def abort(self, txn: Transaction) -> None:
         """Undo the transaction's writes and release locks."""
@@ -123,6 +144,8 @@ class TransactionManager:
         self._release(txn)
         self._active.pop(txn.txn_id, None)
         self.aborted += 1
+        if self._metrics is not None:
+            self._metrics["aborts"].inc()
 
     def _release(self, txn: Transaction) -> None:
         for key in txn.locks:
@@ -143,6 +166,9 @@ class TransactionManager:
                 result = body(txn)
             except TransactionAborted as exc:
                 last = exc
+                self.retried += 1
+                if self._metrics is not None:
+                    self._metrics["retries"].inc()
                 continue
             except Exception:
                 self.abort(txn)
