@@ -18,11 +18,10 @@ an order of magnitude on this workload. Rows land in
 ``BENCH_throughput.json`` next to the fast-path section.
 """
 
-import gc
 import os
 import time
 
-from conftest import fmt, merge_bench_json, print_table
+from conftest import best_of, fmt, merge_bench_json, print_table
 
 from repro.core.datastream import StreamExecutionEnvironment
 from repro.core.keys import field_selector
@@ -82,25 +81,22 @@ def run_pipeline(flags):
     }
 
 
-#: best-of-N rounds per configuration. Garbage is collected before every
-#: timed run — dead engines from earlier runs otherwise trigger GC pauses
-#: mid-measurement. The columnar run is ~10x shorter than the others, so a
-#: single scheduler hiccup costs it proportionally more; extra rounds are
-#: cheap there and keep the speedup ratio out of the noise.
+#: best-of-N rounds per configuration. The columnar run is ~10x shorter
+#: than the others, so a single scheduler hiccup costs it proportionally
+#: more; extra rounds are cheap there and keep the speedup ratio out of
+#: the noise.
 ROUNDS = {"seed": 2, "fastpath": 2, "columnar": 5}
 
 
 def run_all():
-    results = {}
-    for name, flags in CONFIGS.items():
-        best = None
-        for _ in range(ROUNDS[name]):
-            gc.collect()
-            r = run_pipeline(flags)
-            if best is None or r["records_per_sec"] > best["records_per_sec"]:
-                best = r
-        results[name] = best
-    return results
+    return {
+        name: best_of(
+            lambda flags=flags: run_pipeline(flags),
+            rounds=ROUNDS[name],
+            metric=lambda r: r["records_per_sec"],
+        )
+        for name, flags in CONFIGS.items()
+    }
 
 
 def test_throughput_columnar(benchmark):

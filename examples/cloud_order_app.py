@@ -18,7 +18,7 @@ from repro.io import OrderWorkload
 from repro.sim import Kernel
 
 
-def main() -> None:
+def main() -> dict:
     kernel = Kernel()
     app = StatefulFunctionRuntime(kernel)
     completed = app.register_egress("completed")
@@ -101,6 +101,19 @@ def main() -> None:
     print(f"  revenue recorded: {total_revenue:.2f}")
     print(f"  invocations: {app.invocations}, messages: {app.messages_sent}")
     assert not app.failures, app.failures
+
+    return {
+        "completed": list(completed),
+        "rejected": list(rejected),
+        "rejection_reasons": reasons,
+        "revenue": total_revenue,
+        "stock": {
+            item: app.state_of(Address("inventory", item))
+            for item in ("widget", "gadget", "doohickey")
+        },
+        "invocations": app.invocations,
+        "messages_sent": app.messages_sent,
+    }
 
 
 if __name__ == "__main__":

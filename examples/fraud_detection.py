@@ -26,7 +26,7 @@ def fraud_pattern() -> Pattern:
     )
 
 
-def main() -> None:
+def main() -> dict:
     env = StreamExecutionEnvironment(name="fraud")
     transactions = env.from_workload(
         TransactionWorkload(count=8000, rate=2000.0, key_count=200, fraud_fraction=0.05, seed=7),
@@ -75,6 +75,14 @@ def main() -> None:
     flagged_true = sum(1 for r in ml_alerts.results if r.value.label == 1)
     precision = flagged_true / len(ml_alerts.results) if ml_alerts.results else 0.0
     print(f"alert precision: {precision:.3f}")
+
+    return {
+        "cep_matches": [r.value for r in cep_alerts.results],
+        "ml_alerts": [r.value for r in ml_alerts.results],
+        "accuracy": model.accuracy,
+        "model_versions": registry.version_count,
+        "precision": precision,
+    }
 
 
 if __name__ == "__main__":

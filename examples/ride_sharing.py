@@ -15,7 +15,7 @@ from repro.progress import BoundedOutOfOrderness
 from repro.windows import SlidingEventTimeWindows
 
 
-def main() -> None:
+def main() -> dict:
     env = StreamExecutionEnvironment(name="rides")
 
     # Stream 1: road-network updates → continuous shortest paths from depot 0.
@@ -68,6 +68,14 @@ def main() -> None:
         peak[zone] = max(peak.get(zone, 0), record.value.value)
     for zone, demand in sorted(peak.items(), key=lambda kv: -kv[1])[:5]:
         print(f"  zone {zone}: {demand} requests/window")
+
+    return {
+        "routes": [r.value for r in route_sink.results],
+        "demand": [r.value for r in demand_sink.results],
+        "events_applied": sssp_ops[0].events_applied,
+        "relaxations": sssp_ops[0].algorithm.relaxations,
+        "peak_demand": peak,
+    }
 
 
 if __name__ == "__main__":

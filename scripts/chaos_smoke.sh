@@ -6,7 +6,7 @@
 # prints a copy-pasteable minimal reproducer and fails the script.
 # Usage: scripts/chaos_smoke.sh [--seed N] [--schedules K]
 #          [--mode default|supervised|both] [--obs] [--incremental]
-#          [--columnar] [--rescale] [--txn]
+#          [--columnar] [--rescale] [--txn] [--macro]
 # --obs runs with latency markers + tracing on; --incremental checkpoints
 # via base+delta chains; --columnar transports record-batches end to end —
 # none of the three may change any verdict. --rescale swaps in the
@@ -14,7 +14,10 @@
 # palette, under the same oracles. --txn swaps in the transactional grid:
 # multi-partition transfers over shared TxnStateStores, judged by the
 # serializability oracle (serial replay + conflict-graph acyclicity +
-# balance conservation) on top of the standard suite.
+# balance conservation) on top of the standard suite. --macro swaps in
+# the macro-benchmark suite (repro.macro, Q1-Q5 on one interleaved
+# source) under kill/delay/stall, judged against a clean golden run with
+# the serializability oracle armed on the Q5 store.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -549,6 +549,67 @@ def txn_scenarios() -> list[Scenario]:
 
 
 # ----------------------------------------------------------------------
+# macro suite: the five ESPBench-style queries under one fault timeline
+# ----------------------------------------------------------------------
+def macro_mixed(scale: float = 0.3, seed: int = 0) -> Scenario:
+    """The whole macro benchmark (Q1–Q5, ``repro.macro``) as one chaos
+    scenario: enrichment join, CEP fraud pattern, sliding windows, embedded
+    ML scoring, and serializable transfers share a single interleaved
+    source while kills, delays, and stalls land anywhere in the plan.
+
+    The expectation is a *golden run*: the same job executed once, clean,
+    at factory time; every chaos run must reproduce its tagged sink
+    multiset exactly-once (cross-flag output equivalence is pinned
+    separately by ``tests/runtime/test_macro_equivalence.py``). The
+    serializability oracle is armed on Q5's shared store with the
+    balance-conservation invariant."""
+    from repro.chaos.oracles import SerializabilityOracle
+    from repro.macro.queries import QUERIES, balance_conservation, build_macro_job
+
+    def tagged(job: Any) -> list[Any]:
+        out: list[Any] = []
+        for query in QUERIES:
+            out.extend((query,) + item for item in job.sink_tuples(query))
+        return out
+
+    golden = build_macro_job(
+        config_for_guarantee(GuaranteeLevel.EXACTLY_ONCE, checkpoint_interval=0.02, seed=seed),
+        seed=seed,
+        scale=scale,
+        transactional_sinks=True,
+    )
+    golden.env.build()
+    golden.env.execute()
+    expected = tagged(golden)
+
+    def build(config: EngineConfig) -> ScenarioRun:
+        job = build_macro_job(config, seed=seed, scale=scale, transactional_sinks=True)
+        engine = job.env.build()
+        return ScenarioRun(
+            engine,
+            list(expected),
+            lambda: tagged(job),
+            oracles=[
+                SerializabilityOracle(job.store, invariant=balance_conservation)
+            ],
+        )
+
+    return Scenario(
+        name="macro-mixed/exactly_once",
+        level=GuaranteeLevel.EXACTLY_ONCE,
+        build=build,
+        palette=PaletteConfig(kinds=(KILL, DELAY, STALL), window=0.12, max_magnitude=0.03),
+    )
+
+
+def macro_scenarios() -> list[Scenario]:
+    """The macro-suite chaos grid (``--macro``): every subsystem the macro
+    queries touch — NFA state, window panes, ML weights, txn locks — must
+    recover together under one fault timeline."""
+    return [macro_mixed()]
+
+
+# ----------------------------------------------------------------------
 def broken_at_most_once() -> Scenario:
     """Deliberately mis-deployed job: a plain (at-most-once) sink with no
     checkpoints, but the operator *claims* exactly-once. Any kill loses the

@@ -16,6 +16,7 @@ import time
 from repro.chaos.runner import ChaosRunner, flags_key
 from repro.chaos.scenarios import (
     FlagTriple,
+    macro_scenarios,
     rescale_scenarios,
     standard_scenarios,
     supervised_scenarios,
@@ -83,6 +84,14 @@ def main(argv: list[str] | None = None) -> int:
         help="transport record-batches end to end (columnar execution; "
         "the perturbation unit grows, verdicts must not change)",
     )
+    parser.add_argument(
+        "--macro",
+        action="store_true",
+        help="sweep the macro-benchmark suite (Q1-Q5 on one interleaved "
+        "source) under the kill/delay/stall palette, judged against a "
+        "clean golden run with the serializability oracle armed on the "
+        "Q5 store",
+    )
     args = parser.parse_args(argv)
 
     modes = ("default", "supervised") if args.mode == "both" else (args.mode,)
@@ -97,6 +106,9 @@ def main(argv: list[str] | None = None) -> int:
         # failover regions, so the fixed policy's global recovery is the
         # correct scope (the region-coupling guard is tested separately).
         modes = ("default",)
+    if args.macro:
+        # The macro suite embeds a shared txn store too — same reasoning.
+        modes = ("default",)
     started = time.monotonic()
     failures = 0
     cells = 0
@@ -106,6 +118,8 @@ def main(argv: list[str] | None = None) -> int:
             scenarios = rescale_scenarios()
         elif args.txn:
             scenarios = txn_scenarios()
+        elif args.macro:
+            scenarios = macro_scenarios()
         else:
             scenarios = supervised_scenarios() if supervised else standard_scenarios()
         for scenario in scenarios:

@@ -1,0 +1,34 @@
+"""ESPBench-style macro-benchmark: a standing mixed-workload suite.
+
+The seeded domain generators each exercise one engine path; this package
+composes them into one enterprise-style benchmark (PAPERS.md: ESPBench): a
+fixed set of five queries — enrichment join, CEP fraud pattern, sliding
+windowed analytics, ML model scoring, transactional account transfers —
+all fed by one interleaved source on one deterministic kernel clock, and
+swept across engine configurations by :class:`~repro.macro.runner.
+MacroRunner`. One run emits every per-query cell (throughput, p50/p99
+source→sink latency, checkpoint bytes, kernel events) into
+``BENCH_macro.json`` — the regression harness every speed/scale PR must
+move.
+
+Determinism contract: same seed ⇒ byte-identical per-query sink digests on
+re-run, and identical digests across every configuration that promises
+scalar equivalence (fast-path chaining, columnar transport, incremental
+checkpoints). Commit-order-sensitive cells (the transactional query, runs
+with live autoscaling) promise multiset equality instead.
+"""
+
+from repro.macro.queries import MacroJob, QUERIES, build_macro_job, fraud_pattern
+from repro.macro.runner import ENGINE_CONFIGS, MacroRunner
+from repro.macro.sources import InterleavedWorkload, macro_workload
+
+__all__ = [
+    "ENGINE_CONFIGS",
+    "InterleavedWorkload",
+    "MacroJob",
+    "MacroRunner",
+    "QUERIES",
+    "build_macro_job",
+    "fraud_pattern",
+    "macro_workload",
+]

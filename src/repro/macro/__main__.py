@@ -1,0 +1,85 @@
+"""CLI: ``python -m repro.macro [--scale S] [--seed N] [--out PATH]``.
+
+Runs the full macro sweep and writes (or merges into) a ``BENCH_macro.json``
+exhibit; exits 1 when the in-run equivalence verdicts fail. ``--configs``
+restricts the sweep to a comma-separated subset (the baseline is always
+included so equivalence stays judgeable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.macro.runner import ENGINE_CONFIGS, MacroRunner
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the sweep, print the per-config table, merge the exhibit."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0, help="event-count multiplier")
+    parser.add_argument("--seed", type=int, default=0, help="workload + engine seed")
+    parser.add_argument("--out", default=None, help="write BENCH_macro.json here")
+    parser.add_argument(
+        "--section",
+        default="macro_suite",
+        help="JSON section to write under --out (CI keeps a reduced-scale "
+        "baseline in its own section)",
+    )
+    parser.add_argument(
+        "--configs",
+        default=None,
+        help="comma-separated engine-config subset (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    configs = None
+    if args.configs:
+        wanted = {name.strip() for name in args.configs.split(",")} | {"seed"}
+        unknown = wanted - set(ENGINE_CONFIGS)
+        if unknown:
+            parser.error(f"unknown configs: {sorted(unknown)}")
+        configs = {name: ENGINE_CONFIGS[name] for name in ENGINE_CONFIGS if name in wanted}
+
+    runner = MacroRunner(seed=args.seed, scale=args.scale, configs=configs)
+    payload = runner.run()
+    payload["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+
+    for name, cell in payload["configs"].items():
+        print(f"[{name}] wall={cell['wall_seconds']:.3f}s kernel_events={cell['kernel_events']}")
+        for query, q in cell["cells"].items():
+            p99 = q["latency_p99"]
+            print(
+                f"  {query}: in={q['inputs']} out={q['outputs']} "
+                f"tput={q['throughput_records_per_wall_sec']:.0f}/s "
+                f"p99={p99 if p99 is not None else '-'} "
+                f"ckpt={q['checkpoint_bytes']}B"
+            )
+    verdict = payload["equivalence"]
+    print(f"equivalence: {'ok' if verdict['ok'] else 'FAILED'} (baseline={verdict['baseline']})")
+    for mismatch in verdict["mismatches"]:
+        print(f"  mismatch: {mismatch}")
+
+    if args.out:
+        data = {}
+        if os.path.exists(args.out):
+            try:
+                with open(args.out) as fh:
+                    existing = json.load(fh)
+                if isinstance(existing, dict):
+                    data = existing
+            except (json.JSONDecodeError, OSError):
+                data = {}
+        data[args.section] = payload
+        with open(args.out, "w") as fh:
+            json.dump(data, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0 if verdict["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,338 @@
+"""The five fixed macro-benchmark queries (ESPBench-style, PAPERS.md).
+
+Every query consumes a slice of the shared interleaved source (see
+:mod:`repro.macro.sources`) selected by its ``kind`` tag:
+
+* **Q1** — enrichment join: card transactions against a static merchant
+  dimension table (stream–table join, vectorizable on the columnar path);
+* **Q2** — CEP fraud pattern over the NFA operator, keyed per card: a
+  small probe purchase followed by two large ones within 30 seconds — the
+  same pattern the ``examples/fraud_detection.py`` exemplar ships
+  (``tests/examples`` pins the two against each other);
+* **Q3** — sliding-window analytics: per-sensor count and mean reading
+  over overlapping event-time windows, watermark-driven;
+* **Q4** — ML model scoring via :class:`~repro.ml.serving.
+  EmbeddedTrainServeOperator`: score-then-train per transaction, flagged
+  records reach the sink (model version deliberately excluded from the
+  output — replay republishes versions, predictions must still match);
+* **Q5** — transactional account transfers through a shared
+  :class:`~repro.txn.store.TxnStateStore`: each card transaction becomes a
+  serializable two-account read-modify-write.
+
+Sink-output determinism is the whole point: Q1–Q4 promise byte-identical
+*ordered* sink tuples across every configuration that promises scalar
+equivalence; Q5 commits race on the virtual clock, so it promises multiset
+equality of committed op ids (plus balance conservation) instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.cep.patterns import Pattern
+from repro.core.datastream import DataStream, StreamExecutionEnvironment
+from repro.core.keys import field_selector
+from repro.io.sinks import CollectSink, Sink, TransactionalSink
+from repro.io.sources import Workload
+from repro.macro.sources import macro_workload
+from repro.ml.features import transaction_features
+from repro.ml.serving import EmbeddedTrainServeOperator, ModelRegistry
+from repro.progress.watermarks import BoundedOutOfOrderness
+from repro.runtime.config import EngineConfig
+from repro.txn.store import TxnConfig, TxnStateStore
+from repro.windows.assigners import SlidingEventTimeWindows
+
+# ----------------------------------------------------------------------
+# Q1: enrichment join — dimension table
+# ----------------------------------------------------------------------
+_CATEGORIES = ("grocery", "travel", "electronics", "dining", "fuel")
+_REGIONS = ("na", "eu", "apac")
+
+#: static merchant dimension table: 50 rows keyed by merchant id; card key
+#: hashes onto a merchant, modelling the fact-to-dimension foreign key
+DIMENSION_TABLE: dict[int, dict[str, Any]] = {
+    merchant: {
+        "merchant": f"m{merchant}",
+        "category": _CATEGORIES[merchant % len(_CATEGORIES)],
+        "region": _REGIONS[merchant % len(_REGIONS)],
+    }
+    for merchant in range(50)
+}
+
+
+def _enrich(value: dict) -> tuple:
+    row = DIMENSION_TABLE[value["key"] % len(DIMENSION_TABLE)]
+    return (
+        value["seq"],
+        value["card"],
+        value["amount"],
+        row["merchant"],
+        row["category"],
+        row["region"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Q2: CEP fraud pattern
+# ----------------------------------------------------------------------
+def fraud_pattern() -> Pattern:
+    """Probe-then-burst card fraud: one small purchase followed by two
+    large ones within 30 seconds (kept in lockstep with
+    ``examples/fraud_detection.py`` — see ``tests/examples``)."""
+    return (
+        Pattern.begin("probe", lambda v: v["amount"] < 20)
+        .followed_by("burst", lambda v: v["amount"] > 500)
+        .times_exactly(2)
+        .within(30.0)
+    )
+
+
+def _match_tuple(match: Any) -> tuple:
+    return (
+        match.key,
+        tuple(value["seq"] for _stage, value in match.events),
+        round(match.duration, 9),
+    )
+
+
+# ----------------------------------------------------------------------
+# Q5: transactional transfers
+# ----------------------------------------------------------------------
+MACRO_ACCOUNTS = 8
+MACRO_BALANCE = 100
+
+
+def transfer_of(value: dict) -> tuple:
+    """Derive a two-account transfer from one card transaction."""
+    src = f"acct-{value['key'] % MACRO_ACCOUNTS}"
+    dst = f"acct-{(value['key'] * 7 + 3) % MACRO_ACCOUNTS}"
+    amount = 1 + value["seq"] % 9
+    return ("xfer", f"t{value['seq']}", src, dst, amount)
+
+
+def transfer_body(handle: Any, value: tuple) -> Any:
+    """Q5 transaction body: one atomic debit+credit, returns the op id."""
+    _kind, op_id, src, dst, amount = value
+    debit = handle.read(src, MACRO_BALANCE)
+    credit = handle.read(dst, MACRO_BALANCE)
+    handle.write(src, debit - amount)
+    handle.write(dst, credit + amount)
+    return op_id
+
+
+def balance_conservation(items: dict[Any, Any]) -> str | None:
+    """Oracle invariant: transfers move money between the fixed accounts,
+    never create or destroy it."""
+    if not items:
+        return None
+    total = sum(items.values())
+    want = MACRO_BALANCE * len(items)
+    if total != want:
+        return f"balance sum {total} != {want} over {len(items)} accounts"
+    return None
+
+
+# ----------------------------------------------------------------------
+# the suite
+# ----------------------------------------------------------------------
+#: per-query comparison contract: ``ordered`` cells must be byte-identical
+#: across equivalence configurations; ``multiset`` cells only promise the
+#: same bag of outputs (commit order races on the virtual clock)
+QUERIES: dict[str, dict[str, str]] = {
+    "q1": {
+        "description": "enrichment join: card txns x merchant dimension table",
+        "comparison": "ordered",
+    },
+    "q2": {
+        "description": "CEP fraud pattern (probe -> 2x burst within 30s) per card",
+        "comparison": "ordered",
+    },
+    "q3": {
+        "description": "sliding-window analytics: count+mean reading per sensor",
+        "comparison": "ordered",
+    },
+    "q4": {
+        "description": "ML scoring: embedded train-serve fraud model, flagged txns",
+        "comparison": "ordered",
+    },
+    "q5": {
+        "description": "transactional transfers: serializable 2-account RMW",
+        "comparison": "multiset",
+    },
+}
+
+
+@dataclass
+class MacroJob:
+    """One built (not yet run) macro job: env + per-query observation."""
+
+    env: StreamExecutionEnvironment
+    sinks: dict[str, Sink]
+    store: TxnStateStore
+    ml_operators: list[EmbeddedTrainServeOperator]
+    registry: ModelRegistry
+    #: per-query result lens: committed results for transactional sinks,
+    #: raw results otherwise
+    observed: dict[str, Callable[[], list[tuple]]] = field(default_factory=dict)
+
+    def sink_tuples(self, query: str) -> list[tuple]:
+        """(value, event_time, key, sign) per sink result, in sink order."""
+        return self.observed[query]()
+
+    def digest(self, query: str) -> str:
+        """SHA-256 over the ordered sink tuples (byte-identical contract)."""
+        return _digest(self.sink_tuples(query))
+
+    def multiset_digest(self, query: str) -> str:
+        """SHA-256 over the sorted sink tuples (multiset contract)."""
+        return _digest(sorted(self.sink_tuples(query), key=repr))
+
+
+def _digest(tuples: list[tuple]) -> str:
+    hasher = hashlib.sha256()
+    for item in tuples:
+        hasher.update(repr(item).encode())
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+def _result_lens(sink: Sink) -> Callable[[], list[tuple]]:
+    if isinstance(sink, TransactionalSink):
+        return lambda: [(r.value, r.event_time, r.key, r.sign) for r in sink.committed]
+    return lambda: [(r.value, r.event_time, r.key, r.sign) for r in sink.results]
+
+
+def build_macro_job(
+    config: EngineConfig,
+    seed: int = 0,
+    scale: float = 1.0,
+    txn_locking: str = "ordered",
+    transactional_sinks: bool = False,
+    workload: Workload | None = None,
+) -> MacroJob:
+    """Wire the five macro queries onto one shared interleaved source.
+
+    Args:
+        config: engine configuration under test (the runner sweeps these).
+        seed: workload seed (independent of ``config.seed``).
+        scale: event-count multiplier (CI runs reduced scale).
+        txn_locking: ``"ordered"`` or ``"nowait"`` for the Q5 store.
+        transactional_sinks: exactly-once sinks (the chaos harness needs
+            committed-only observation; the fault-free bench keeps plain
+            collect sinks).
+        workload: override the composed source (tests inject tiny inputs).
+    """
+    env = StreamExecutionEnvironment(config, name="macro")
+    source = env.from_workload(
+        workload if workload is not None else macro_workload(seed=seed, scale=scale),
+        name="macro-src",
+        watermarks=BoundedOutOfOrderness(0.02),
+    )
+
+    def make_sink(name: str) -> Sink:
+        return TransactionalSink(name) if transactional_sinks else CollectSink(name)
+
+    sinks: dict[str, Sink] = {}
+
+    def attach(query: str, stream: DataStream, parallelism: int | None = None) -> None:
+        sink = make_sink(f"{query}-out")
+        stream.sink(sink, name=f"{query}-out", parallelism=parallelism)
+        sinks[query] = sink
+
+    def is_kind(kind: str) -> Callable[[dict], bool]:
+        return lambda v: v["kind"] == kind
+
+    def kind_mask(kind: str) -> Callable[[list], list]:
+        return lambda vs: [v["kind"] == kind for v in vs]
+
+    # Q1 — enrichment join against the merchant dimension table.
+    attach(
+        "q1",
+        source.filter(is_kind("txn"), name="q1-cards", batch_predicate=kind_mask("txn"))
+        .map(_enrich, name="q1-enrich", batch_fn=lambda vs: [_enrich(v) for v in vs]),
+    )
+
+    # Q2 — CEP fraud pattern per card (NFA state checkpoints with the task).
+    attach(
+        "q2",
+        source.filter(is_kind("txn"), name="q2-cards", batch_predicate=kind_mask("txn"))
+        .key_by(field_selector("card"), name="q2-by-card")
+        .pattern(fraud_pattern(), name="q2-cep")
+        .map(_match_tuple, name="q2-flatten"),
+    )
+
+    # Q3 — sliding-window count + mean reading per sensor.
+    attach(
+        "q3",
+        source.filter(
+            is_kind("sensor"), name="q3-readings", batch_predicate=kind_mask("sensor")
+        )
+        .key_by(field_selector("sensor"), name="q3-by-sensor")
+        .window(SlidingEventTimeWindows(0.1, 0.05))
+        .aggregate(
+            create=lambda: (0, 0.0),
+            add=lambda acc, v: (acc[0] + 1, acc[1] + v["reading"]),
+            result=lambda acc: (acc[0], round(acc[1] / acc[0], 9)),
+            merge=lambda a, b: (a[0] + b[0], a[1] + b[1]),
+            name="q3-win",
+        ),
+    )
+
+    # Q4 — embedded train-and-serve scoring; flagged transactions only.
+    registry = ModelRegistry()
+    ml_operators: list[EmbeddedTrainServeOperator] = []
+
+    def serving_factory() -> EmbeddedTrainServeOperator:
+        operator = EmbeddedTrainServeOperator(
+            transaction_features(),
+            label_of=lambda v: v["label"],
+            registry=registry,
+            publish_every=200,
+            name="q4-score",
+        )
+        ml_operators.append(operator)
+        return operator
+
+    attach(
+        "q4",
+        source.filter(is_kind("txn"), name="q4-cards", batch_predicate=kind_mask("txn"))
+        .apply_operator(serving_factory, name="q4-score")
+        .filter(lambda p: p.predicted == 1, name="q4-flagged")
+        # Model versions replay-inflate (the registry lives outside the
+        # snapshot); probabilities must still reproduce exactly.
+        .map(
+            lambda p: (p.value["seq"], p.predicted, round(p.probability, 9)),
+            name="q4-project",
+        ),
+    )
+
+    # Q5 — serializable transfers over a shared multi-partition store.
+    store = TxnStateStore(
+        "q5-store", partitions=4, config=TxnConfig(locking=txn_locking)
+    )
+    attach(
+        "q5",
+        source.filter(is_kind("txn"), name="q5-cards", batch_predicate=kind_mask("txn"))
+        .map(transfer_of, name="q5-to-transfer")
+        .transact(
+            transfer_body,
+            keys_fn=lambda v: [v[2], v[3]],
+            store=store,
+            op_id_fn=lambda v: v[1],
+            name="q5-txn",
+            parallelism=2,
+        ),
+        parallelism=1,
+    )
+
+    job = MacroJob(
+        env=env,
+        sinks=sinks,
+        store=store,
+        ml_operators=ml_operators,
+        registry=registry,
+    )
+    job.observed = {query: _result_lens(sink) for query, sink in sinks.items()}
+    return job

@@ -1,0 +1,137 @@
+"""The composed macro-benchmark source: many domains, one kernel clock.
+
+:class:`InterleavedWorkload` merges several seeded domain workloads into a
+single deterministic event sequence ordered by arrival time. Each emitted
+payload is the component's payload plus a ``kind`` tag, so the macro
+queries fan out from one shared source and select their slice with a
+filter — the ESPBench shape: a fixed query set over one input stream.
+
+The merge is a pure function of the component sequences: arrival times are
+the component gaps accumulated independently, ties break on the component's
+position in the ``parts`` list, and the merged gaps reconstruct exactly the
+merged arrival process. Replaying :meth:`events` regenerates the identical
+sequence, so checkpoint recovery can rewind the composed source by offset
+like any other workload.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, Sequence
+
+from repro.io.sources import (
+    ClickstreamWorkload,
+    RideWorkload,
+    SensorWorkload,
+    SourceEvent,
+    TransactionWorkload,
+    Workload,
+)
+
+
+class InterleavedWorkload(Workload):
+    """Deterministic arrival-time merge of tagged component workloads.
+
+    Args:
+        parts: ``(kind, workload)`` pairs. Every component payload must be a
+            dict; the merged payload is that dict plus ``{"kind": kind}``.
+    """
+
+    def __init__(self, parts: Sequence[tuple[str, Workload]]) -> None:
+        if not parts:
+            raise ValueError("InterleavedWorkload needs at least one component")
+        seen: set[str] = set()
+        for kind, _workload in parts:
+            if kind in seen:
+                raise ValueError(f"duplicate component kind {kind!r}")
+            seen.add(kind)
+        self.parts = list(parts)
+
+    def events(self) -> Iterator[SourceEvent]:
+        # Heap of (arrival, part_index, kind, event, iterator); part_index
+        # breaks arrival ties deterministically and keeps tuples comparable.
+        heap: list[tuple[float, int, str, SourceEvent, Iterator[SourceEvent]]] = []
+        for index, (kind, workload) in enumerate(self.parts):
+            iterator = workload.events()
+            first = next(iterator, None)
+            if first is not None:
+                heapq.heappush(
+                    heap, (first.inter_arrival, index, kind, first, iterator)
+                )
+        last_arrival = 0.0
+        while heap:
+            arrival, index, kind, event, iterator = heapq.heappop(heap)
+            if not isinstance(event.value, dict):
+                raise TypeError(
+                    f"component {kind!r} emitted a non-dict payload: {event.value!r}"
+                )
+            value = dict(event.value)
+            value["kind"] = kind
+            yield SourceEvent(arrival - last_arrival, value, event.event_time)
+            last_arrival = arrival
+            successor = next(iterator, None)
+            if successor is not None:
+                heapq.heappush(
+                    heap,
+                    (arrival + successor.inter_arrival, index, kind, successor, iterator),
+                )
+
+
+#: component event counts at ``scale=1.0``; card transactions dominate
+#: because three of the five queries (enrichment, CEP, ML scoring — and the
+#: transfers derived for the transactional query) consume them
+_BASE_COUNTS = {"txn": 1200, "sensor": 1200, "click": 700, "ride": 700}
+
+
+def scaled_counts(scale: float) -> dict[str, int]:
+    """Per-component event counts at ``scale`` (floor 20 keeps every
+    component alive at the smallest test scales)."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return {kind: max(20, int(count * scale)) for kind, count in _BASE_COUNTS.items()}
+
+
+def macro_workload(seed: int = 0, scale: float = 1.0) -> InterleavedWorkload:
+    """The standing macro-benchmark input: fraud/card transactions,
+    IoT sensor readings, clickstream, and ride-sharing events interleaved
+    on one clock. Clickstream and ride traffic is background load — no
+    macro query consumes it, which is the point: every query pays the
+    mixed-workload dispatch pressure, not a private tidy stream."""
+    counts = scaled_counts(scale)
+    rate = 2000.0
+    return InterleavedWorkload(
+        [
+            (
+                "txn",
+                TransactionWorkload(
+                    count=counts["txn"],
+                    rate=rate,
+                    seed=seed,
+                    key_count=100,
+                    fraud_fraction=0.05,
+                ),
+            ),
+            (
+                "sensor",
+                SensorWorkload(
+                    count=counts["sensor"],
+                    rate=rate,
+                    seed=seed,
+                    key_count=24,
+                    disorder=0.005,
+                ),
+            ),
+            (
+                "click",
+                ClickstreamWorkload(
+                    count=counts["click"], rate=rate * 0.6, seed=seed, key_count=150
+                ),
+            ),
+            (
+                "ride",
+                RideWorkload(
+                    count=counts["ride"], rate=rate * 0.6, seed=seed, key_count=80
+                ),
+            ),
+        ]
+    )

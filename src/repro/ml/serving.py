@@ -146,16 +146,34 @@ class EmbeddedTrainServeOperator(Operator):
         return self.correct / self.total if self.total else 0.0
 
     def snapshot_state(self) -> Any:
-        return (self.model.clone_weights(), self.model.samples_seen, self.correct, self.total)
+        # The scaler's running statistics are part of the model's effective
+        # state: restoring weights without them would standardize replayed
+        # features differently and diverge every post-recovery prediction.
+        return (
+            self.model.clone_weights(),
+            self.model.samples_seen,
+            self.correct,
+            self.total,
+            (self.scaler.count, self.scaler._mean.copy(), self.scaler._m2.copy()),
+        )
 
     def restore_state(self, snapshot: Any) -> None:
         if snapshot is None:
             return
-        weights, seen, correct, total = snapshot
+        if len(snapshot) == 4:  # pre-scaler snapshot layout
+            weights, seen, correct, total = snapshot
+            scaler_state = None
+        else:
+            weights, seen, correct, total, scaler_state = snapshot
         self.model.load_weights(weights)
         self.model.samples_seen = seen
         self.correct = correct
         self.total = total
+        if scaler_state is not None:
+            count, mean, m2 = scaler_state
+            self.scaler.count = count
+            self.scaler._mean = mean.copy()
+            self.scaler._m2 = m2.copy()
 
 
 class ExternalModelServer:

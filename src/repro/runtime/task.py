@@ -540,6 +540,17 @@ class Task:
             self.ctx.current_key_value = element.key
             self.operator.process(element, self.ctx)
         elif isinstance(element, RecordBatch):
+            if getattr(self.operator, "txn_gate", None) is not None:
+                # One record = one transaction: the _txn_hold handshake
+                # pauses the mailbox *between* records, which a batch
+                # processed as one element would bypass — its deferred
+                # commits would overlap and the first to land would release
+                # the hold for all of them (late emissions then race task
+                # teardown). Re-queue the rows, in order, ahead of
+                # everything else queued.
+                for record in reversed(list(element.records())):
+                    self._mailbox.appendleft(_MailboxItem(item.channel_index, record))
+                return 0.0
             if self.reroute is not None:
                 # Live migration in flight: batch routing predates the new
                 # key ownership, so explode and re-deliver per record.

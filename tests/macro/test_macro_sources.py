@@ -1,0 +1,95 @@
+"""InterleavedWorkload: the deterministic arrival-time merge."""
+
+import pytest
+
+from repro.io.sources import SensorWorkload, SourceEvent, TransactionWorkload, Workload
+from repro.macro.sources import InterleavedWorkload, macro_workload, scaled_counts
+
+
+class _Scripted(Workload):
+    """Fixed (gap, payload) script for merge-order assertions."""
+
+    def __init__(self, gaps_values):
+        self.gaps_values = gaps_values
+
+    def events(self):
+        for gap, value in self.gaps_values:
+            yield SourceEvent(gap, value, None)
+
+
+def arrivals(workload):
+    t, out = 0.0, []
+    for event in workload.events():
+        t += event.inter_arrival
+        out.append((round(t, 9), event.value["kind"], event.value["n"]))
+    return out
+
+
+def test_merge_orders_by_arrival_time():
+    merged = InterleavedWorkload(
+        [
+            ("a", _Scripted([(0.1, {"n": 0}), (0.3, {"n": 1})])),  # arrivals .1, .4
+            ("b", _Scripted([(0.2, {"n": 0}), (0.1, {"n": 1})])),  # arrivals .2, .3
+        ]
+    )
+    assert arrivals(merged) == [
+        (0.1, "a", 0),
+        (0.2, "b", 0),
+        (0.3, "b", 1),
+        (0.4, "a", 1),
+    ]
+
+
+def test_merge_breaks_arrival_ties_by_component_position():
+    merged = InterleavedWorkload(
+        [
+            ("late", _Scripted([(0.5, {"n": 0})])),
+            ("early", _Scripted([(0.5, {"n": 0})])),
+        ]
+    )
+    assert [kind for _, kind, _ in arrivals(merged)] == ["late", "early"]
+
+
+def test_merge_tags_but_does_not_mutate_component_payloads():
+    payload = {"n": 7}
+    merged = InterleavedWorkload([("x", _Scripted([(0.1, payload)]))])
+    (event,) = list(merged.events())
+    assert event.value == {"n": 7, "kind": "x"}
+    assert "kind" not in payload  # the component's dict is copied, not tagged
+
+
+def test_merge_rejects_duplicate_kinds_and_empty_parts():
+    with pytest.raises(ValueError):
+        InterleavedWorkload([])
+    with pytest.raises(ValueError):
+        InterleavedWorkload([("x", _Scripted([])), ("x", _Scripted([]))])
+
+
+def test_replay_is_deterministic():
+    workload = InterleavedWorkload(
+        [
+            ("txn", TransactionWorkload(count=50, rate=500.0, seed=3, key_count=10)),
+            ("sensor", SensorWorkload(count=50, rate=500.0, seed=3, key_count=4)),
+        ]
+    )
+
+    def replay():
+        return [
+            (e.inter_arrival, e.value, e.event_time) for e in workload.events()
+        ]
+
+    first = replay()
+    assert len(first) == 100
+    assert replay() == first  # events() restarts from scratch every time
+
+
+def test_scaled_counts_floor_and_validation():
+    assert scaled_counts(1.0)["txn"] == 1200
+    assert all(count >= 20 for count in scaled_counts(0.001).values())
+    with pytest.raises(ValueError):
+        scaled_counts(0.0)
+
+
+def test_macro_workload_emits_every_kind():
+    kinds = {event.value["kind"] for event in macro_workload(seed=0, scale=0.05).events()}
+    assert kinds == {"txn", "sensor", "click", "ride"}
