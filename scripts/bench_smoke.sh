@@ -14,3 +14,6 @@ python -m pytest tests/ -q "$@"
 
 echo "== benchmarks (smoke mode) =="
 python -m pytest benchmarks/ -q --benchmark-disable "$@"
+
+echo "== fabric chaos (quick) =="
+python -m repro.chaos.smoke --fabric --budget 10

@@ -6,7 +6,7 @@
 # prints a copy-pasteable minimal reproducer and fails the script.
 # Usage: scripts/chaos_smoke.sh [--seed N] [--schedules K]
 #          [--mode default|supervised|both] [--obs] [--incremental]
-#          [--columnar] [--rescale] [--txn] [--macro]
+#          [--columnar] [--rescale] [--txn] [--macro] [--fabric]
 # --obs runs with latency markers + tracing on; --incremental checkpoints
 # via base+delta chains; --columnar transports record-batches end to end —
 # none of the three may change any verdict. --rescale swaps in the
@@ -17,7 +17,11 @@
 # balance conservation) on top of the standard suite. --macro swaps in
 # the macro-benchmark suite (repro.macro, Q1-Q5 on one interleaved
 # source) under kill/delay/stall, judged against a clean golden run with
-# the serializability oracle armed on the Q5 store.
+# the serializability oracle armed on the Q5 store. --fabric swaps in the
+# multi-tenant fabric grid: one tenant misbehaves (crash loop, quota
+# blow-out, mid-run teardown) on a shared kernel while well-behaved
+# neighbours are judged by the isolation oracle (sink digests identical
+# to solo runs on dedicated kernels).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

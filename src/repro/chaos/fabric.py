@@ -1,0 +1,150 @@
+"""Fabric chaos scenarios: adversarial neighbours on a shared kernel.
+
+Each scenario runs a multi-tenant :class:`~repro.fabric.JobFabric` where
+one tenant misbehaves — crash-loops, blows its runtime quota, or is torn
+down mid-run — and judges the *well-behaved* tenants with the isolation
+oracle: their sink digests must be byte-identical to a solo run of the
+same seeded pipeline on a dedicated kernel. A violation means the fabric
+leaked one tenant's chaos into another's output.
+
+Driven by ``python -m repro.chaos.smoke --fabric``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.datastream import StreamExecutionEnvironment
+from repro.core.keys import field_selector
+from repro.fabric import FabricConfig, JobFabric, sink_digest
+from repro.fault.injection import FailureInjector
+from repro.io import CollectSink, SensorWorkload
+from repro.runtime.config import EngineConfig
+
+
+@dataclass
+class FabricChaosReport:
+    """Outcome of one fabric chaos cell."""
+
+    scenario: str
+    seed: int
+    ok: bool
+    tenants: int
+    states: dict[str, str] = field(default_factory=dict)
+    violations: list[str] = field(default_factory=list)
+    preemptions: int = 0
+
+    def reproducer(self) -> str:
+        """Copy-pasteable command that re-runs this cell's seed."""
+        return (
+            f"reproduce with: python -m repro.chaos.smoke --fabric "
+            f"--seed {self.seed}  # scenario {self.scenario}"
+        )
+
+
+def _keyed_count_env(
+    name: str, seed: int, count: int, rate: float = 2000.0
+) -> tuple[StreamExecutionEnvironment, CollectSink]:
+    env = StreamExecutionEnvironment(EngineConfig(seed=seed), name=name)
+    sink = CollectSink("out")
+    (
+        env.from_workload(SensorWorkload(count=count, rate=rate, key_count=8, seed=seed))
+        .key_by(field_selector("sensor"), parallelism=2)
+        .aggregate(create=lambda: 0, add=lambda a, _v: a + 1, name="count", parallelism=2)
+        .sink(sink, parallelism=1)
+    )
+    return env, sink
+
+
+def _solo_digest(name: str, seed: int, count: int) -> str:
+    env, sink = _keyed_count_env(name, seed=seed, count=count)
+    env.execute()
+    return sink_digest(sink)
+
+
+def _judge(
+    fabric: JobFabric,
+    victims: dict[str, tuple[CollectSink, str]],
+    scenario: str,
+    seed: int,
+) -> FabricChaosReport:
+    result = fabric.run()
+    violations = []
+    for name, (sink, expected) in victims.items():
+        handle = result.tenant(name)
+        if handle.state != "done":
+            violations.append(f"{name}: ended {handle.state}, expected done")
+        elif sink_digest(sink) != expected:
+            violations.append(f"{name}: digest diverged from solo baseline")
+    return FabricChaosReport(
+        scenario=scenario,
+        seed=seed,
+        ok=not violations,
+        tenants=len(result.tenants),
+        states={n: h.state for n, h in result.tenants.items()},
+        violations=violations,
+        preemptions=result.summary()["preemptions"],
+    )
+
+
+def crash_loop_neighbour(seed: int) -> FabricChaosReport:
+    """A tenant stuck killing/restarting shares one slot with a victim."""
+    expected = _solo_digest("victim", seed=seed, count=120)
+    fabric = JobFabric(FabricConfig(slots=1, quantum=0.01))
+    venv, vsink = _keyed_count_env("victim", seed=seed, count=120)
+    fabric.submit(venv)
+    cenv, _ = _keyed_count_env("crasher", seed=seed + 101, count=120)
+    crasher = fabric.submit(cenv)
+    injector = FailureInjector(crasher.engine)
+    for k in range(4):
+        injector.schedule_kill("count[0]", 0.005 + 0.02 * k)
+    injector.on_detection(lambda event: crasher.engine.restart_from_scratch())
+    return _judge(fabric, {"victim": (vsink, expected)}, "crash-loop-neighbour", seed)
+
+
+def mid_run_teardown(seed: int) -> FabricChaosReport:
+    """A large neighbour is failed and bulk-cancelled mid-run."""
+    expected = _solo_digest("victim", seed=seed, count=120)
+    fabric = JobFabric(FabricConfig(slots=2, quantum=0.05))
+    venv, vsink = _keyed_count_env("victim", seed=seed, count=120)
+    fabric.submit(venv)
+    denv, _ = _keyed_count_env("doomed", seed=seed + 101, count=5000)
+    doomed = fabric.submit(denv)
+    with fabric.kernel.job_scope(doomed.engine.job_tag):
+        fabric.kernel.call_at(0.02, lambda: doomed.engine.fail_job("chaos teardown"))
+    return _judge(fabric, {"victim": (vsink, expected)}, "mid-run-teardown", seed)
+
+
+def quota_hog(seed: int) -> FabricChaosReport:
+    """An unbounded hog capped by a runtime quota shares the only slot."""
+    expected = _solo_digest("victim", seed=seed, count=100)
+    fabric = JobFabric(FabricConfig(slots=1, quantum=0.01))
+    venv, vsink = _keyed_count_env("victim", seed=seed, count=100)
+    fabric.submit(venv)
+    henv, _ = _keyed_count_env("hog", seed=seed + 101, count=200_000)
+    fabric.submit(henv, runtime_quota=0.2)
+    return _judge(fabric, {"victim": (vsink, expected)}, "quota-hog", seed)
+
+
+def contended_rotation(seed: int) -> FabricChaosReport:
+    """Six well-behaved tenants rotate over two slots; every digest must
+    match its solo baseline (preemption is observationally free)."""
+    fabric = JobFabric(FabricConfig(slots=2, quantum=0.02))
+    victims: dict[str, tuple[CollectSink, str]] = {}
+    for i in range(6):
+        name = f"tenant{i}"
+        expected = _solo_digest(name, seed=seed + i, count=80)
+        env, sink = _keyed_count_env(name, seed=seed + i, count=80)
+        fabric.submit(env)
+        victims[name] = (sink, expected)
+    return _judge(fabric, victims, "contended-rotation", seed)
+
+
+#: the fabric chaos grid, in sweep order
+FABRIC_SCENARIOS: tuple[tuple[str, Callable[[int], FabricChaosReport]], ...] = (
+    ("crash-loop-neighbour", crash_loop_neighbour),
+    ("mid-run-teardown", mid_run_teardown),
+    ("quota-hog", quota_hog),
+    ("contended-rotation", contended_rotation),
+)

@@ -31,6 +31,39 @@ SMOKE_MATRIX: tuple[FlagTriple, ...] = (
 )
 
 
+def _fabric_sweep(args: argparse.Namespace) -> int:
+    """Run the multi-tenant fabric chaos grid under the budget."""
+    from repro.chaos.fabric import FABRIC_SCENARIOS
+
+    started = time.monotonic()
+    failures = 0
+    cells = 0
+    for name, scenario in FABRIC_SCENARIOS:
+        for index in range(args.schedules):
+            if time.monotonic() - started > args.budget:
+                print(
+                    f"budget exhausted after {cells} cells "
+                    f"({time.monotonic() - started:.1f}s) -- stopping early"
+                )
+                return 1 if failures else 0
+            report = scenario(args.seed + index)
+            cells += 1
+            status = "ok" if report.ok else "VIOLATION"
+            print(
+                f"{status:9s} fabric     {name:28s} tenants={report.tenants} "
+                f"preemptions={report.preemptions} "
+                f"states={','.join(sorted(set(report.states.values())))}"
+            )
+            if not report.ok:
+                failures += 1
+                for violation in report.violations:
+                    print(f"  {violation}")
+                print(report.reproducer())
+    elapsed = time.monotonic() - started
+    print(f"{cells} cells, {failures} violations, {elapsed:.1f}s (seed={args.seed})")
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the budgeted sweep; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -92,7 +125,18 @@ def main(argv: list[str] | None = None) -> int:
         "clean golden run with the serializability oracle armed on the "
         "Q5 store",
     )
+    parser.add_argument(
+        "--fabric",
+        action="store_true",
+        help="sweep the multi-tenant fabric scenarios: one tenant "
+        "misbehaves (crash loop, quota blow-out, mid-run teardown) on a "
+        "shared kernel; well-behaved neighbours are judged by the "
+        "isolation oracle (sink digests identical to solo runs)",
+    )
     args = parser.parse_args(argv)
+
+    if args.fabric:
+        return _fabric_sweep(args)
 
     modes = ("default", "supervised") if args.mode == "both" else (args.mode,)
     if args.rescale:

@@ -94,11 +94,14 @@ class StreamExecutionEnvironment:
             self.engine = Engine(self.graph, self.config)
         return self.engine.run(until=until, max_events=max_events)
 
-    def build(self) -> Engine:
+    def build(self, *, kernel: Any = None, registry: Any = None) -> Engine:
         """Construct (but don't run) the engine — control-plane experiments
-        need the handle before time starts."""
+        need the handle before time starts. The fabric passes ``kernel``
+        and ``registry`` to admit the job onto shared infrastructure."""
         if self.engine is None:
-            self.engine = Engine(self.graph, self.config)
+            self.engine = Engine(
+                self.graph, self.config, kernel=kernel, registry=registry
+            )
         return self.engine
 
 

@@ -100,3 +100,13 @@ class BackpressureError(LoadManagementError):
 
 class SimulationError(ReproError):
     """Raised by the discrete-event kernel (time travel, dead kernel)."""
+
+
+class MetricNamespaceError(ReproError):
+    """Raised when two owners claim overlapping metric-path prefixes on a
+    shared registry (e.g. two fabric tenants with the same job name)."""
+
+
+class FabricError(ReproError):
+    """Raised by the multi-tenant job fabric (duplicate tenant names,
+    invalid slot configuration, unsupported tenant wiring)."""

@@ -1,0 +1,109 @@
+"""Shared-source fan-out: one generator feeds many tenants.
+
+Without the hub, K tenants reading the same logical stream cost K full
+emission chains on the kernel — K timers per arrival, K generator passes.
+The hub walks the workload **once** in the fabric's own event namespace
+and, per event, pushes the record into every subscribed tenant's
+:class:`~repro.runtime.task.SourceTask` via its injection path, each push
+wrapped in that tenant's job scope so the whole downstream event tree
+stays namespaced (suspension and O(1) teardown keep working).
+
+Tenants subscribe by using :meth:`SharedSourceHub.tap` as their source
+workload: the tap yields nothing itself (the task's pull loop stays idle),
+records arrive purely by injection. A backpressured tenant buffers in its
+own output gates; the hub never blocks, so one slow tenant cannot throttle
+the shared stream for the others.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.fabric.scheduler import FABRIC_TAG
+from repro.io.sources import SourceEvent, Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.task import SourceTask
+    from repro.sim.kernel import Kernel
+
+
+class TapWorkload(Workload):
+    """A tenant-side subscription to a :class:`SharedSourceHub`.
+
+    Yields no events of its own — the owning task is fed by injection.
+    """
+
+    def __init__(self, hub: "SharedSourceHub") -> None:
+        self.hub = hub
+
+    def events(self) -> Iterator[SourceEvent]:
+        return iter(())
+
+
+class SharedSourceHub:
+    """One emission chain fanned out to N tenant sources by injection."""
+
+    def __init__(self, name: str, workload: Workload, kernel: "Kernel") -> None:
+        self.name = name
+        self.workload = workload
+        self.kernel = kernel
+        #: (tenant job tag, tenant source task) subscriptions
+        self._taps: list[tuple[str, "SourceTask"]] = []
+        self._iterator: Iterator[SourceEvent] | None = None
+        self._next_arrival = 0.0
+        self.events_walked = 0
+        self.records_fanned_out = 0
+        self.finished = False
+
+    # ------------------------------------------------------------------
+    def tap(self) -> TapWorkload:
+        """A workload handle a tenant pipeline reads from."""
+        return TapWorkload(self)
+
+    def attach(self, job_tag: str, task: "SourceTask") -> None:
+        """Subscribe a tenant's source task (fabric calls this at submit)."""
+        self._taps.append((job_tag, task))
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin walking the workload (fabric namespace, never suspended)."""
+        self._iterator = iter(self.workload.events())
+        self._next_arrival = self.kernel.now()
+        with self.kernel.job_scope(FABRIC_TAG):
+            self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        try:
+            event = next(self._iterator)
+        except StopIteration:
+            self._finish()
+            return
+        self._next_arrival = max(self.kernel.now(), self._next_arrival) + event.inter_arrival
+        self.kernel.call_at(self._next_arrival, lambda e=event: self._deliver(e))
+
+    def _deliver(self, event: SourceEvent) -> None:
+        self.events_walked += 1
+        for job_tag, task in self._taps:
+            if task.dead or task.finished:
+                continue
+            # Inject inside the tenant's namespace: the delivery chain this
+            # seeds (mailbox wakeups, timers) belongs to the tenant, not to
+            # the hub.
+            with self.kernel.job_scope(job_tag):
+                task.inject(event.value, event.event_time)
+            self.records_fanned_out += 1
+        self._schedule_next()
+
+    def _finish(self) -> None:
+        self.finished = True
+        for job_tag, task in self._taps:
+            if task.dead or task.finished:
+                continue
+            with self.kernel.job_scope(job_tag):
+                task.finish_injection()
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedSourceHub({self.name!r}, taps={len(self._taps)}, "
+            f"walked={self.events_walked})"
+        )

@@ -66,7 +66,10 @@ class FailureInjector:
 
             self.engine.kernel.call_after(self.detection_delay, detect)
 
-        self.engine.kernel.call_at(at, kill)
+        # Namespace the kill (and its detection chain) under the target
+        # engine's job so a fabric teardown cancels pending injections too.
+        with self.engine._job_scope():
+            self.engine.kernel.call_at(at, kill)
         return event
 
     def schedule_node_failure(self, node_name: str, at: float) -> list[FailureEvent]:

@@ -36,7 +36,7 @@ class BackpressureMonitor:
         self._timer = PeriodicTimer(self.engine.kernel, self.interval, self._sample)
         obs = getattr(self.engine, "obs", None)
         if obs is not None:
-            scope = f"{obs.registry.job}/backpressure/0"
+            scope = f"{obs.job}/backpressure/0"
             obs.registry.gauge(f"{scope}/samples", lambda: len(self.samples))
             obs.registry.gauge(f"{scope}/peak_backlog", self.peak_backlog)
             obs.registry.gauge(f"{scope}/source_paused_fraction", self.source_paused_fraction)

@@ -78,13 +78,25 @@ class Observability:
         config: "EngineConfig",
         rng: "SimRandom",
         epoch_fn: Any = lambda: 0,
+        registry: MetricRegistry | None = None,
     ) -> None:
-        self.registry = MetricRegistry(job)
+        self.job = job
+        self.registry = registry if registry is not None else MetricRegistry(job)
+        # Reserve this job's path prefix. On a private registry the claim is
+        # trivially free; on a fabric-shared registry it is the namespace
+        # guard: a second tenant submitted under the same job name raises
+        # MetricNamespaceError here instead of silently merging instruments.
+        self.registry.claim(job, owner=f"obs-{id(self):x}")
         self.marker_period = config.latency_marker_period
         self.tracer = Tracer(config.trace_sample_rate, rng.fork("trace"), epoch_fn)
         self.profiler = Profiler(enabled=config.profiling_enabled)
-        self.latency = LatencyTracker(self.registry)
+        self.latency = LatencyTracker(self.registry, job)
         self._channel_labels: dict[str, int] = {}
+
+    def _scope(self, operator: str, subtask: int = 0) -> MetricScope:
+        """This job's ``job/operator/subtask`` scope (registry may be shared,
+        so prefixes come from ``self.job``, not ``registry.job``)."""
+        return self.registry.scoped(f"{self.job}/{operator}/{subtask}")
 
     # ------------------------------------------------------------------
     # wiring
@@ -92,7 +104,7 @@ class Observability:
     def attach_task(self, task: Any) -> None:
         """Bind a task to the bundle and absorb its ``TaskMetrics``."""
         task.attach_obs(self)
-        scope = self.registry.scope(operator_of(task.name), task.subtask_index)
+        scope = self._scope(operator_of(task.name), task.subtask_index)
         metrics: "TaskMetrics" = task.metrics
         for field_name in _TASK_METRIC_FIELDS:
             scope.gauge(field_name, lambda m=metrics, f=field_name: getattr(m, f))
@@ -118,14 +130,14 @@ class Observability:
         self._channel_labels[label] = count + 1
         if count:
             label = f"{label}#{count}"
-        prefix = f"{self.registry.job}/channels/{label}"
+        prefix = f"{self.job}/channels/{label}"
         self.registry.gauge(f"{prefix}/sent", lambda c=channel: c.sent)
         self.registry.gauge(f"{prefix}/delivered", lambda c=channel: c.delivered)
         self.registry.gauge(f"{prefix}/backlog", lambda c=channel: c.backlog_size)
 
     def register_engine(self, engine: Any) -> None:
         """Engine- and job-level gauges (checkpoints, recovery rollup)."""
-        job = self.registry.job
+        job = self.job
         self.registry.gauge(
             f"{job}/engine/0/checkpoints_completed",
             lambda e=engine: len(e.completed_checkpoints),
@@ -170,9 +182,22 @@ class Observability:
         )
 
     def install_kernel(self, kernel: "Kernel") -> None:
-        """Hook the kernel's dispatch observer when profiling is on."""
+        """Hook the kernel's dispatch observer when profiling is on.
+
+        On a fabric-shared kernel several profiling engines may install;
+        observers chain so earlier hooks keep firing."""
         if self.profiler.enabled:
-            kernel.dispatch_observer = self.profiler.on_dispatch
+            previous = kernel.dispatch_observer
+            if previous is None:
+                kernel.dispatch_observer = self.profiler.on_dispatch
+            else:
+                mine = self.profiler.on_dispatch
+
+                def chained(time: float, _prev=previous, _mine=mine) -> None:
+                    _prev(time)
+                    _mine(time)
+
+                kernel.dispatch_observer = chained
 
     # ------------------------------------------------------------------
     # hot-path entry points (called from Task with obs already non-None)

@@ -31,19 +31,25 @@ def operator_of(task_name: str) -> str:
 
 
 class LatencyTracker:
-    """Publishes marker histograms into the job's metric registry."""
+    """Publishes marker histograms into the job's metric registry.
 
-    def __init__(self, registry: MetricRegistry) -> None:
+    The job prefix is explicit (not taken from the registry) so the
+    registry can be shared across fabric tenants.
+    """
+
+    def __init__(self, registry: MetricRegistry, job: str | None = None) -> None:
         self.registry = registry
+        self.job = job if job is not None else registry.job
         #: (source operator, sink operator) → source→sink histogram
         self._e2e: dict[tuple[str, str], Histogram] = {}
+
+    def _scope(self, task_name: str, subtask: int):
+        return self.registry.scoped(f"{self.job}/{operator_of(task_name)}/{subtask}")
 
     # ------------------------------------------------------------------
     def on_emitted(self, task_name: str, subtask: int) -> None:
         """A source emitted one marker (drives the period property test)."""
-        self.registry.scope(operator_of(task_name), subtask).counter(
-            "latency_markers_emitted"
-        ).inc()
+        self._scope(task_name, subtask).counter("latency_markers_emitted").inc()
 
     def on_marker(
         self, task_name: str, subtask: int, marker: "LatencyMarker", now: float, terminal: bool
@@ -51,7 +57,7 @@ class LatencyTracker:
         """A task received one marker: per-operator histogram, plus the
         source→sink histogram when the task is terminal (a sink)."""
         latency = now - marker.emitted_at
-        scope = self.registry.scope(operator_of(task_name), subtask)
+        scope = self._scope(task_name, subtask)
         scope.histogram("latency_from_source").record(latency)
         if terminal:
             source_op = operator_of(marker.source_id)
@@ -60,7 +66,7 @@ class LatencyTracker:
             histogram = self._e2e.get(key)
             if histogram is None:
                 histogram = self.registry.histogram(
-                    f"{self.registry.job}/e2e/{source_op}->{sink_op}/latency"
+                    f"{self.job}/e2e/{source_op}->{sink_op}/latency"
                 )
                 self._e2e[key] = histogram
             histogram.record(latency)

@@ -20,6 +20,8 @@ from __future__ import annotations
 import json
 from typing import Any, Callable, Iterator
 
+from repro.errors import MetricNamespaceError
+
 
 class Counter:
     """Monotone integer instrument (records_in, markers emitted, ...)."""
@@ -144,11 +146,47 @@ class MetricScope:
 
 
 class MetricRegistry:
-    """All instruments of one job, addressable by hierarchical path."""
+    """All instruments of one job — or, shared across a fabric, of many
+    jobs — addressable by hierarchical path.
+
+    When a registry is shared, each owner must :meth:`claim` its path
+    prefix up front: two different owners claiming overlapping prefixes
+    (e.g. two tenants submitted under the same job name) raise
+    :class:`MetricNamespaceError` instead of silently merging instruments.
+    """
 
     def __init__(self, job: str) -> None:
         self.job = job
         self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        #: claimed path prefix → owner identity
+        self._claims: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def claim(self, prefix: str, owner: str) -> None:
+        """Reserve ``prefix`` (a path component boundary) for ``owner``.
+
+        Idempotent for the same owner. A different owner claiming the same
+        prefix — or a prefix nested inside / enclosing an existing claim —
+        raises :class:`MetricNamespaceError`: on a shared registry the two
+        jobs would otherwise publish into each other's instruments.
+        """
+        for existing, existing_owner in self._claims.items():
+            if existing_owner == owner:
+                continue
+            if (
+                existing == prefix
+                or existing.startswith(prefix + "/")
+                or prefix.startswith(existing + "/")
+            ):
+                raise MetricNamespaceError(
+                    f"metric namespace {prefix!r} (owner {owner!r}) collides "
+                    f"with {existing!r} already claimed by {existing_owner!r}"
+                )
+        self._claims[prefix] = owner
+
+    def scoped(self, prefix: str) -> MetricScope:
+        """A :class:`MetricScope` rooted at an arbitrary path prefix."""
+        return MetricScope(self, prefix)
 
     # ------------------------------------------------------------------
     def scope(self, operator: str, subtask: int = 0) -> MetricScope:

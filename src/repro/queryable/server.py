@@ -87,7 +87,11 @@ class QueryableStateService:
 
         if callback is None:
             return answer()
-        self.engine.kernel.call_after(self.query_latency, lambda: callback(answer()))
+        # Resolve inside the engine's event namespace: on a fabric-shared
+        # kernel a tenant's query replies belong to that tenant, so tearing
+        # it down cancels its in-flight answers too.
+        with self.engine._job_scope():
+            self.engine.kernel.call_after(self.query_latency, lambda: callback(answer()))
         return None
 
     # ------------------------------------------------------------------

@@ -8,6 +8,8 @@ trigger checkpoints, kill tasks, restore from snapshots, rewind sources.
 
 from __future__ import annotations
 
+import functools
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -95,13 +97,55 @@ class JobResult:
         return out
 
 
-class Engine:
-    """Executes one job on a dedicated DES kernel."""
+def _scoped(method: Callable) -> Callable:
+    """Run a control-plane entry point inside the engine's event namespace
+    so every kernel event it seeds (checkpoint timeouts, restore completion
+    callbacks, re-emission chains) carries the job tag on a shared kernel."""
 
-    def __init__(self, graph: StreamGraph, config: EngineConfig | None = None) -> None:
+    @functools.wraps(method)
+    def wrapper(self: "Engine", *args: Any, **kwargs: Any) -> Any:
+        with self._job_scope():
+            return method(self, *args, **kwargs)
+
+    return wrapper
+
+
+class Engine:
+    """Executes one job on a DES kernel.
+
+    By default each engine owns a dedicated kernel. Under the multi-tenant
+    fabric (:mod:`repro.fabric`) many engines share one kernel: pass
+    ``kernel=`` (and usually ``registry=`` for a shared metric registry).
+    A shared engine gets a unique ``job_tag`` namespace on the kernel; all
+    of its events are tagged so the fabric can suspend, resume, or tear the
+    job down (O(1) bulk-cancel) without touching other tenants.
+    """
+
+    def __init__(
+        self,
+        graph: StreamGraph,
+        config: EngineConfig | None = None,
+        *,
+        kernel: Kernel | None = None,
+        registry: Any = None,
+    ) -> None:
         self.graph = graph
         self.config = config or EngineConfig()
-        self.kernel = Kernel(same_time_bucket=self.config.same_time_bucket)
+        self.owns_kernel = kernel is None
+        self.kernel = kernel if kernel is not None else Kernel(
+            same_time_bucket=self.config.same_time_bucket
+        )
+        #: this engine's event namespace on the kernel. Sole-tenant engines
+        #: use the graph name; on a shared kernel the tag is uniquified so
+        #: two tenants submitting the same graph stay isolated.
+        self.job_tag = (
+            graph.name if self.owns_kernel else self.kernel.unique_job_tag(graph.name)
+        )
+        #: callbacks fired exactly once when the job reaches a terminal
+        #: state (finished or failed-clean); the fabric uses this to release
+        #: slots and tear the namespace down
+        self.on_finish_callbacks: list[Callable[["Engine"], None]] = []
+        self._finish_fired = False
         self.rng = SimRandom(self.config.seed, f"engine/{graph.name}")
         self.metrics = JobMetrics()
         self.tasks: dict[str, Task] = {}
@@ -172,10 +216,11 @@ class Engine:
         #: markers, tracing, profiling (created before _build so tasks and
         #: channels register as they are wired)
         self.obs = Observability(
-            graph.name,
+            self.job_tag,
             self.config,
             self.rng,
             epoch_fn=lambda: self.execution_epoch,
+            registry=registry,
         )
         self.obs.install_kernel(self.kernel)
         graph.validate()
@@ -416,28 +461,42 @@ class Engine:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def _job_scope(self):
+        """Event-namespace scope for control-plane entry points.
+
+        On a shared (fabric) kernel, every event a control action schedules
+        — and, transitively, the whole event tree it seeds — must carry this
+        engine's tag so suspension and O(1) teardown stay per-job. A
+        sole-tenant engine skips tagging: the per-event namespace accounting
+        is pure overhead when one job owns the kernel.
+        """
+        if self.owns_kernel:
+            return nullcontext()
+        return self.kernel.job_scope(self.job_tag)
+
     def start(self) -> None:
         """Open operators, start services, then start sources."""
         if self._started:
             raise RuntimeStateError("engine already started")
         self._started = True
-        order = self.graph.topological_order()
-        for node in order:
-            if not node.is_source:
-                for task in self.node_tasks[node.node_id]:
-                    task.start()
-        if self.config.checkpoints is not None:
-            self._coordinator_timer = PeriodicTimer(
-                self.kernel, self.config.checkpoints.interval, self.trigger_checkpoint
-            )
-        if self.config.metrics_interval is not None:
-            self._sampler_timer = PeriodicTimer(
-                self.kernel, self.config.metrics_interval, self._sample_metrics
-            )
-        for node in order:
-            if node.is_source:
-                for task in self.node_tasks[node.node_id]:
-                    task.start()
+        with self._job_scope():
+            order = self.graph.topological_order()
+            for node in order:
+                if not node.is_source:
+                    for task in self.node_tasks[node.node_id]:
+                        task.start()
+            if self.config.checkpoints is not None:
+                self._coordinator_timer = PeriodicTimer(
+                    self.kernel, self.config.checkpoints.interval, self.trigger_checkpoint
+                )
+            if self.config.metrics_interval is not None:
+                self._sampler_timer = PeriodicTimer(
+                    self.kernel, self.config.metrics_interval, self._sample_metrics
+                )
+            for node in order:
+                if node.is_source:
+                    for task in self.node_tasks[node.node_id]:
+                        task.start()
 
     def run(self, until: float | None = None, max_events: int | None = None) -> JobResult:
         """Start if needed and drive the kernel; returns a :class:`JobResult`."""
@@ -455,9 +514,21 @@ class Engine:
     # ------------------------------------------------------------------
     def on_task_finished(self, task: Task) -> None:
         """Task callback: mark the job finished when every task is done."""
+        if self.job_finished:
+            return
         if all(t.finished or t.dead for t in self.tasks.values()):
             self.job_finished = True
             self._cancel_services()
+            self._fire_finish_callbacks()
+
+    def _fire_finish_callbacks(self) -> None:
+        """Notify terminal-state listeners exactly once (fabric slot
+        release / teardown)."""
+        if self._finish_fired:
+            return
+        self._finish_fired = True
+        for callback in list(self.on_finish_callbacks):
+            callback(self)
 
     def on_side_output(self, task_name: str, tag: str, element: StreamElement) -> None:
         """Task callback: collect a side-output element."""
@@ -477,6 +548,7 @@ class Engine:
     # ------------------------------------------------------------------
     # checkpoint coordination
     # ------------------------------------------------------------------
+    @_scoped
     def trigger_checkpoint(self) -> int | None:
         """Inject barriers at all sources; returns the checkpoint id."""
         if self.job_finished or self.job_failed:
@@ -552,7 +624,7 @@ class Engine:
         """Publish per-capture checkpoint internals (delta vs would-be-full
         volume, captured churn, capture cost) to the metric registry."""
         registry = self.obs.registry
-        prefix = f"{self.graph.name}/checkpoint/0"
+        prefix = f"{self.job_tag}/checkpoint/0"
         delta = snapshot.delta
         registry.histogram(f"{prefix}/delta_bytes").record(delta.size_bytes())
         registry.histogram(f"{prefix}/dirty_keys").record(delta.entry_count())
@@ -570,7 +642,7 @@ class Engine:
         # incremental mode (record.total_bytes() sums delta sizes then).
         persist_cost = cfg.write_base_cost + record.total_bytes() * cfg.write_cost_per_byte
         self.obs.registry.histogram(
-            f"{self.graph.name}/checkpoint/0/persist_seconds"
+            f"{self.job_tag}/checkpoint/0/persist_seconds"
         ).record(persist_cost)
         epoch = self.execution_epoch
 
@@ -633,6 +705,7 @@ class Engine:
     # ------------------------------------------------------------------
     # failure & recovery primitives
     # ------------------------------------------------------------------
+    @_scoped
     def kill_task(self, task_name: str) -> None:
         """Fail-stop one task (aborts any in-flight checkpoint)."""
         task = self.tasks.get(task_name)
@@ -708,6 +781,7 @@ class Engine:
         task.state_backend.clear_all()
         restore_chain(task.state_backend, chain)
 
+    @_scoped
     def recover_from_checkpoint(self, checkpoint_id: int | None = None) -> float:
         """Global restart from a completed checkpoint (Flink-style).
 
@@ -822,6 +896,7 @@ class Engine:
 
             redistribute_after_restore(self, record)
 
+    @_scoped
     def recover_region(self, task_names: list[str], checkpoint_id: int | None = None) -> float:
         """Partial (failover-region) restart, Flink FLIP-1 style.
 
@@ -916,6 +991,7 @@ class Engine:
         self.kernel.call_at(resume_at, finish)
         return resume_at
 
+    @_scoped
     def restart_from_scratch(self) -> float:
         """Restart the whole job from offset zero — the recovery of a
         checkpointed job that has no completed checkpoint yet. Transactional
@@ -937,6 +1013,7 @@ class Engine:
         self._restore_tasks(self._planned_tasks(), None)
         return self.kernel.now()
 
+    @_scoped
     def fail_job(self, reason: str) -> None:
         """Terminal, *clean* job failure: a restart policy gave up. Every
         task stops, in-flight data is voided, services are cancelled, and
@@ -964,7 +1041,21 @@ class Engine:
         self._cancel_services()
         self.metrics.recovery.job_failed_at = self.kernel.now()
         self.metrics.recovery.job_failure_reason = reason
+        self._fire_finish_callbacks()
 
+    def shutdown(self) -> int:
+        """Tear the job down: cancel services, kill live tasks, and — on a
+        shared kernel — bulk-cancel the whole event namespace (O(1) in heap
+        size). Returns the number of kernel events condemned."""
+        self._cancel_services()
+        for task in self._planned_tasks():
+            if not task.dead and not task.finished:
+                task.kill()
+        if self.owns_kernel:
+            return 0
+        return self.kernel.cancel_job(self.job_tag)
+
+    @_scoped
     def recover_without_replay(self) -> None:
         """At-most-once recovery: dead tasks come back empty and sources
         continue from their *current* position (no rewind).

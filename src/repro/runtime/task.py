@@ -1362,6 +1362,42 @@ class SourceTask(Task):
         self._emitted += n
         self._flush_outputs()
 
+    def inject(self, value: Any, event_time: Any = None) -> None:
+        """Push one record into this source from outside its pull loop.
+
+        The fabric's shared-source hub walks one workload and injects each
+        event into every subscribed tenant's source, so N tenants reading
+        the same stream cost one generator pass instead of N. The path
+        mirrors scalar ``_try_emit`` exactly — Record construction, trace
+        sampling, watermark strategy, metrics — so an injected stream is
+        indistinguishable downstream from a pulled one. Backpressure never
+        pushes back on the hub: a blocked tenant's records park in its own
+        output buffers until credit returns, stalling nobody else.
+        """
+        if self.dead or self.finished:
+            return
+        now = self.kernel.now()
+        record = Record(value=value, event_time=event_time, ingest_time=now)
+        tracer = self._tracer
+        if tracer is not None and tracer.sample():
+            record = replace(record, trace=tracer.begin_root(self.name, now))
+        if event_time is not None:
+            self._max_event_time = max(self._max_event_time, event_time)
+        self.collect_output(record)
+        self.metrics.records_in += 1
+        watermark = self.strategy.on_event(value, event_time, now)
+        if watermark is not None and watermark.timestamp > self._last_watermark:
+            self._last_watermark = watermark.timestamp
+            self.collect_output(watermark)
+        self._emitted += 1
+        self._flush_outputs()
+
+    def finish_injection(self) -> None:
+        """End-of-stream for an injected source (hub workload exhausted)."""
+        if self.dead or self.finished:
+            return
+        self._finish()
+
     def output_unblocked(self) -> None:
         if not self._output_blocked:
             return

@@ -10,6 +10,26 @@ Events scheduled for exactly ``now()`` — the dominant case for zero-latency
 intra-machine hops — take a heap-free fast path: a FIFO *same-time bucket*
 drained before the heap is consulted. The dispatch order is still the exact
 global (time, insertion-seq) order, so the bucket is a pure optimisation.
+
+Multi-tenancy (``repro.fabric``) adds three kernel-level mechanisms:
+
+* **Job namespaces** — every event carries the tag of the job that
+  scheduled it. The tag propagates automatically: events scheduled while a
+  tagged event is dispatching inherit its tag, so one ``job_scope(tag)``
+  around a job's entry point namespaces its entire transitive event tree.
+* **O(1) bulk teardown** — :meth:`cancel_job` bumps the namespace's
+  generation counter instead of touching the heap; an event whose recorded
+  generation is stale is dead on arrival. Tearing down a job costs the same
+  whether the heap holds a hundred events or a million.
+* **Lazy compaction** — cancelled and torn-down events sit in the heap
+  until their timestamp would arrive. When the dead fraction crosses a
+  threshold, the heap is rebuilt without them in one O(n) pass, so mass
+  cancellation (job teardown, timer-cancel storms, checkpoint timeouts)
+  cannot permanently inflate dispatch cost.
+
+:meth:`suspend_job`/:meth:`resume_job` additionally let a slot scheduler
+preempt a job: a suspended job's events are parked as their dispatch times
+arrive and are replayed, in order, when the job is resumed.
 """
 
 from __future__ import annotations
@@ -17,8 +37,9 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterator
 
 from repro.errors import SimulationError
 from repro.sim.clock import VirtualClock
@@ -30,17 +51,29 @@ class _ScheduledEvent:
     seq: int
     action: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: namespace tag of the job that scheduled this event (None = untagged)
+    job: str | None = field(default=None, compare=False)
+    #: the job's generation at schedule time; a mismatch with the current
+    #: generation means the job was torn down since — the event is dead
+    gen: int = field(default=0, compare=False)
+    #: True while the event sits in the heap or the same-time bucket (used
+    #: for exact dead-event accounting across cancel/teardown/compaction)
+    in_queue: bool = field(default=True, compare=False)
 
 
 class EventHandle:
     """Handle returned by :meth:`Kernel.schedule`; allows cancellation."""
 
-    def __init__(self, event: _ScheduledEvent) -> None:
+    def __init__(self, event: _ScheduledEvent, kernel: "Kernel | None" = None) -> None:
         self._event = event
+        self._kernel = kernel
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it on dispatch."""
-        self._event.cancelled = True
+        if self._kernel is not None:
+            self._kernel._note_cancel(self._event)
+        else:
+            self._event.cancelled = True
 
     @property
     def cancelled(self) -> bool:
@@ -61,7 +94,13 @@ class Kernel:
         kernel.run()
     """
 
-    def __init__(self, clock: VirtualClock | None = None, same_time_bucket: bool = True) -> None:
+    def __init__(
+        self,
+        clock: VirtualClock | None = None,
+        same_time_bucket: bool = True,
+        compact_threshold: float = 0.5,
+        compact_min_dead: int = 256,
+    ) -> None:
         self.clock = clock or VirtualClock()
         self._queue: list[_ScheduledEvent] = []
         #: FIFO bucket for events scheduled at exactly ``now()`` — the
@@ -78,6 +117,28 @@ class Kernel:
         #: dispatch (profiling); None on the production path — the cost is
         #: one attribute test per event
         self.dispatch_observer: Callable[[float], None] | None = None
+        # --- job namespaces ------------------------------------------------
+        #: job tag → current generation; bumped by cancel_job (O(1) teardown)
+        self._job_gens: dict[str, int] = {}
+        #: job tag → live (non-dead) events currently in queue/bucket
+        self._live_by_job: dict[str, int] = {}
+        #: namespace active during dispatch; events scheduled inherit it
+        self._current_job: str | None = None
+        #: job tag → events parked while the job is suspended (slot sched)
+        self._parked: dict[str, list[_ScheduledEvent]] = {}
+        #: per-base-name counters for unique job tags on this kernel
+        self._job_tag_counts: dict[str, int] = {}
+        # --- lazy compaction ----------------------------------------------
+        #: dead (cancelled or stale-generation) events still in queue/bucket
+        self._dead_pending = 0
+        #: compact when dead events exceed this fraction of the queue ...
+        self.compact_threshold = compact_threshold
+        #: ... and this absolute floor (avoids thrashing on tiny queues)
+        self.compact_min_dead = compact_min_dead
+        #: number of compaction passes run (bench/regression visibility)
+        self.compactions = 0
+        #: number of cancel_job teardowns performed
+        self.jobs_cancelled = 0
 
     # ------------------------------------------------------------------
     # scheduling
@@ -89,15 +150,21 @@ class Kernel:
             raise SimulationError(
                 f"cannot schedule event at {time} before now={now}"
             )
+        job = self._current_job
+        gen = self._job_gens.get(job, 0) if job is not None else 0
         if time <= now:
             if self._same_time_bucket:
-                event = _ScheduledEvent(now, next(self._seq), action)
+                event = _ScheduledEvent(now, next(self._seq), action, job=job, gen=gen)
                 self._soon.append(event)
-                return EventHandle(event)
+                if job is not None:
+                    self._live_by_job[job] = self._live_by_job.get(job, 0) + 1
+                return EventHandle(event, self)
             time = now
-        event = _ScheduledEvent(time, next(self._seq), action)
+        event = _ScheduledEvent(time, next(self._seq), action, job=job, gen=gen)
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        if job is not None:
+            self._live_by_job[job] = self._live_by_job.get(job, 0) + 1
+        return EventHandle(event, self)
 
     def call_after(self, delay: float, action: Callable[[], None]) -> EventHandle:
         """Schedule ``action`` to run ``delay`` virtual seconds from now."""
@@ -108,6 +175,147 @@ class Kernel:
     def call_soon(self, action: Callable[[], None]) -> EventHandle:
         """Schedule ``action`` at the current time, after queued same-time events."""
         return self.call_at(self.clock.now(), action)
+
+    # ------------------------------------------------------------------
+    # job namespaces
+    # ------------------------------------------------------------------
+    @contextmanager
+    def job_scope(self, job: str | None) -> Iterator[None]:
+        """Tag every event scheduled inside the block (and, transitively,
+        events scheduled while those dispatch) with ``job``."""
+        previous = self._current_job
+        self._current_job = job
+        try:
+            yield
+        finally:
+            self._current_job = previous
+
+    @property
+    def current_job(self) -> str | None:
+        """Namespace of the currently dispatching event (None outside)."""
+        return self._current_job
+
+    def unique_job_tag(self, base: str) -> str:
+        """A namespace tag unique on this kernel (``base``, ``base#2``, ...)."""
+        count = self._job_tag_counts.get(base, 0)
+        self._job_tag_counts[base] = count + 1
+        return base if count == 0 else f"{base}#{count + 1}"
+
+    def cancel_job(self, job: str) -> int:
+        """Bulk-cancel every event in ``job``'s namespace — O(1) in heap size.
+
+        The namespace's generation counter is bumped; events recorded under
+        the old generation die lazily at dispatch (or are swept by the next
+        compaction pass). Events the job parks while suspended are dropped
+        too. Returns the number of events condemned. The namespace remains
+        usable: events scheduled *after* the call get the new generation.
+        """
+        condemned = self._live_by_job.pop(job, 0)
+        self._dead_pending += condemned
+        self._job_gens[job] = self._job_gens.get(job, 0) + 1
+        parked = self._parked.pop(job, None)
+        if parked:
+            condemned += len(parked)
+        self.jobs_cancelled += 1
+        self._maybe_compact()
+        return condemned
+
+    def job_generation(self, job: str) -> int:
+        """Current generation of a namespace (0 = never torn down)."""
+        return self._job_gens.get(job, 0)
+
+    def live_events_of(self, job: str) -> int:
+        """Live queued events in ``job``'s namespace (excludes parked)."""
+        return self._live_by_job.get(job, 0)
+
+    # ------------------------------------------------------------------
+    # suspension (slot scheduling)
+    # ------------------------------------------------------------------
+    def suspend_job(self, job: str) -> None:
+        """Park ``job``'s events instead of dispatching them.
+
+        Events already in the heap stay there; each is parked when its
+        dispatch time arrives, preserving (time, seq) order. Idempotent."""
+        self._parked.setdefault(job, [])
+
+    def resume_job(self, job: str) -> int:
+        """Undo :meth:`suspend_job`: replay parked events in park order.
+
+        A parked event whose time has passed fires at ``now()``; future
+        timers keep their absolute times. Relative order among the parked
+        events is preserved (fresh sequence numbers in park order), so a
+        suspended job observes exactly the event order it would have seen
+        running uninterrupted — shifted in time, identical in sequence.
+        Returns the number of events replayed.
+        """
+        parked = self._parked.pop(job, None)
+        if not parked:
+            return 0
+        now = self.clock.now()
+        replayed = 0
+        for event in parked:
+            if self._is_dead(event):
+                continue
+            event.time = max(now, event.time)
+            event.seq = next(self._seq)
+            event.in_queue = True
+            self._live_by_job[job] = self._live_by_job.get(job, 0) + 1
+            if event.time <= now and self._same_time_bucket:
+                self._soon.append(event)
+            else:
+                heapq.heappush(self._queue, event)
+            replayed += 1
+        return replayed
+
+    def job_suspended(self, job: str) -> bool:
+        """True while ``job`` is suspended."""
+        return job in self._parked
+
+    # ------------------------------------------------------------------
+    # dead-event accounting & compaction
+    # ------------------------------------------------------------------
+    def _is_dead(self, event: _ScheduledEvent) -> bool:
+        if event.cancelled:
+            return True
+        job = event.job
+        return job is not None and event.gen != self._job_gens.get(job, 0)
+
+    def _note_cancel(self, event: _ScheduledEvent) -> None:
+        """Account an individual cancellation exactly once."""
+        if event.cancelled:
+            return
+        if self._is_dead(event):
+            # Already condemned by a job teardown; just mark the flag.
+            event.cancelled = True
+            return
+        event.cancelled = True
+        if event.in_queue:
+            self._dead_pending += 1
+            if event.job is not None:
+                self._live_by_job[event.job] = self._live_by_job.get(event.job, 1) - 1
+            self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        if self._dead_pending < self.compact_min_dead:
+            return
+        total = len(self._queue) + len(self._soon)
+        if self._dead_pending <= self.compact_threshold * total:
+            return
+        self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild queue structures without dead events (one O(n) pass).
+
+        Mutates in place: ``run()`` holds local references to both
+        structures, so rebinding them would silently detach the loop."""
+        self._queue[:] = [e for e in self._queue if not self._is_dead(e)]
+        heapq.heapify(self._queue)
+        if any(self._is_dead(e) for e in self._soon):
+            kept = [e for e in self._soon if not self._is_dead(e)]
+            self._soon.clear()
+            self._soon.extend(kept)
+        self._dead_pending = 0
+        self.compactions += 1
 
     # ------------------------------------------------------------------
     # execution
@@ -148,18 +356,34 @@ class Kernel:
                         event = soon.popleft()
                 else:
                     event = heapq.heappop(queue)
-                if event.cancelled:
+                event.in_queue = False
+                job = event.job
+                if self._is_dead(event):
+                    self._dead_pending -= 1
+                    continue
+                if job is not None and job in self._parked:
+                    # Suspended job: park in arrival order for resume_job.
+                    self._parked[job].append(event)
+                    self._live_by_job[job] = self._live_by_job.get(job, 1) - 1
                     continue
                 if until is not None and event.time > until:
                     # Put it back for a later run() call and advance to the horizon.
+                    event.in_queue = True
                     heapq.heappush(queue, event)
                     self.clock.advance_to(until)
                     break
                 self.clock.advance_to(event.time)
+                if job is not None:
+                    self._live_by_job[job] = self._live_by_job.get(job, 1) - 1
                 self._dispatched += 1
                 if self.dispatch_observer is not None:
                     self.dispatch_observer(event.time)
-                event.action()
+                previous_job = self._current_job
+                self._current_job = job
+                try:
+                    event.action()
+                finally:
+                    self._current_job = previous_job
             else:
                 if until is not None:
                     self.clock.advance_to(until)
@@ -180,9 +404,26 @@ class Kernel:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for e in self._queue if not e.cancelled) + sum(
-            1 for e in self._soon if not e.cancelled
+        queued = sum(1 for e in self._queue if not self._is_dead(e)) + sum(
+            1 for e in self._soon if not self._is_dead(e)
         )
+        parked = sum(
+            1
+            for events in self._parked.values()
+            for e in events
+            if not self._is_dead(e)
+        )
+        return queued + parked
+
+    @property
+    def queue_size(self) -> int:
+        """Physical queue size including dead-but-unswept events."""
+        return len(self._queue) + len(self._soon)
+
+    @property
+    def dead_pending(self) -> int:
+        """Dead events awaiting lazy removal (dispatch skip or compaction)."""
+        return self._dead_pending
 
     @property
     def dispatched_events(self) -> int:

@@ -178,7 +178,7 @@ class TxnStateStore:
         if self._metrics is None:
             obs = getattr(engine, "obs", None)
             if obs is not None:
-                self.bind_metrics(obs.registry, f"{obs.registry.job}/txn/{self.name}/0")
+                self.bind_metrics(obs.registry, f"{obs.job}/txn/{self.name}/0")
 
     def bind_metrics(self, registry: Any, prefix: str) -> None:
         """Expose commit/abort/retry counters, lock-wait and commit-latency

@@ -1,0 +1,108 @@
+"""Shared-source hub: one workload walk fanned out to N tenants."""
+
+import pytest
+from fabric_helpers import keyed_count_env
+
+from repro.errors import FabricError
+from repro.fabric import FabricConfig, JobFabric, sink_digest
+from repro.io import SensorWorkload
+from repro.runtime.config import CheckpointConfig
+
+
+def _tap_env(name, fabric, hub, seed=0, parallelism=2, checkpoints=None):
+    return keyed_count_env(
+        name,
+        seed=seed,
+        workload=hub.tap(),
+        parallelism=parallelism,
+        checkpoints=checkpoints,
+    )
+
+
+class TestFanOut:
+    def test_taps_match_direct_pull(self):
+        """Each tapped tenant's output digests identically to running the
+        same pipeline pulling the workload directly."""
+        workload = SensorWorkload(count=150, rate=2000.0, key_count=8, seed=0)
+        baseline_env, baseline_sink = keyed_count_env(
+            "baseline", workload=workload
+        )
+        baseline_env.execute()
+        expected = sink_digest(baseline_sink)
+
+        fabric = JobFabric(FabricConfig(slots=8))
+        hub = fabric.shared_source(
+            "sensors", SensorWorkload(count=150, rate=2000.0, key_count=8, seed=0)
+        )
+        sinks = []
+        for i in range(3):
+            env, sink = _tap_env(f"tap{i}", fabric, hub, seed=i)
+            fabric.submit(env)
+            sinks.append(sink)
+        result = fabric.run()
+        assert result.all_finished
+        for sink in sinks:
+            assert sink_digest(sink) == expected
+
+    def test_workload_is_walked_once(self):
+        fabric = JobFabric(FabricConfig(slots=8))
+        hub = fabric.shared_source(
+            "sensors", SensorWorkload(count=100, rate=2000.0, key_count=4, seed=0)
+        )
+        for i in range(5):
+            env, _ = _tap_env(f"tap{i}", fabric, hub, seed=i)
+            fabric.submit(env)
+        fabric.run()
+        assert hub.events_walked == 100
+        assert hub.records_fanned_out == 500
+        assert hub.finished
+
+    def test_torn_down_tap_stops_receiving(self):
+        """A tenant that fails mid-stream drops out of the fan-out; the
+        hub keeps feeding the survivors to completion."""
+        fabric = JobFabric(FabricConfig(slots=4))
+        hub = fabric.shared_source(
+            "sensors", SensorWorkload(count=200, rate=2000.0, key_count=4, seed=0)
+        )
+        denv, _ = _tap_env("doomed", fabric, hub, seed=0)
+        doomed = fabric.submit(denv)
+        senv, survivor_sink = _tap_env("survivor", fabric, hub, seed=1)
+        fabric.submit(senv)
+        with fabric.kernel.job_scope(doomed.engine.job_tag):
+            fabric.kernel.call_at(
+                0.02, lambda: doomed.engine.fail_job("induced failure")
+            )
+        result = fabric.run()
+        assert result.tenant("doomed").state == "failed"
+        assert result.tenant("survivor").state == "done"
+        assert len(survivor_sink.results) == 200
+        assert hub.events_walked == 200
+        # The doomed tap stopped being fed after its teardown.
+        assert hub.records_fanned_out < 400
+
+
+class TestAdmissionRules:
+    def test_tap_plus_checkpoints_is_rejected(self):
+        """Injection has no rewind-replay, so a checkpointing tenant may
+        not read from a hub — admission must fail loudly."""
+        fabric = JobFabric(FabricConfig(slots=2))
+        hub = fabric.shared_source(
+            "sensors", SensorWorkload(count=50, rate=2000.0, key_count=4, seed=0)
+        )
+        env, _ = _tap_env(
+            "ckpt", fabric, hub, checkpoints=CheckpointConfig(interval=0.01)
+        )
+        with pytest.raises(FabricError):
+            fabric.submit(env)
+
+    def test_foreign_hub_is_rejected(self):
+        """A tap built against one fabric's hub cannot be submitted to a
+        different fabric (its kernel would never drive the walk)."""
+        other = JobFabric(FabricConfig(slots=2))
+        foreign_hub = other.shared_source(
+            "sensors", SensorWorkload(count=50, rate=2000.0, key_count=4, seed=0)
+        )
+        fabric = JobFabric(FabricConfig(slots=2))
+        env, _ = _tap_env("tap", fabric, foreign_hub)
+        with pytest.raises(FabricError):
+            fabric.submit(env)
